@@ -1,0 +1,101 @@
+// Ablation: how much do the ReAct agent's components matter?
+//
+//  - scratchpad memory (Section 2.2): without it the agent forgets decision
+//    history and, crucially, which jobs were just rejected;
+//  - natural-language feedback (Section 2.4): without it rejections are
+//    silent, so the agent re-proposes infeasible actions.
+//
+// The headline finding mirrors the paper's Section 2.4 argument from the
+// other side: because constraint enforcement is separate from reasoning,
+// *schedule quality is identical across all variants* - a memory-less or
+// feedback-less agent cannot corrupt the cluster. What degrades is the
+// reasoning bill: extra LLM calls burned on rejected proposals and the
+// simulated API seconds they waste (measured with the O4-Mini profile,
+// whose per-call latency makes waste expensive).
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/factory.hpp"
+#include "metrics/metrics.hpp"
+#include "sim/engine.hpp"
+#include "util/time_format.hpp"
+#include "workload/generator.hpp"
+
+using namespace reasched;
+
+namespace {
+struct Variant {
+  const char* name;
+  bool scratchpad;
+  bool feedback;
+};
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation - agent components (O4 profile, HetMix, 60 jobs)",
+                      "scratchpad memory and constraint feedback on/off");
+
+  const auto jobs = workload::make_generator(workload::Scenario::kHeterogeneousMix)
+                        ->generate(60, 616);
+
+  const Variant variants[] = {
+      {"full agent", true, true},
+      {"no scratchpad", false, true},
+      {"no feedback", true, false},
+      {"neither", false, false},
+  };
+
+  util::TextTable table({"Variant", "LLM calls", "Rejected", "Wasted API", "Useful API",
+                         "Makespan", "Node util"});
+  util::CsvTable csv({"variant", "llm_calls", "invalid_actions", "wasted_api_s",
+                      "useful_api_s", "makespan", "node_util"});
+
+  for (const auto& v : variants) {
+    core::AgentConfig agent_config;
+    agent_config.scratchpad_enabled = v.scratchpad;
+    // Stress the feasibility-reasoning failure mode: the model frequently
+    // "decides" on a high-scoring job that does not fit. With scratchpad +
+    // feedback a single rejection is remembered and avoided; without them
+    // the agent keeps re-proposing blocked jobs.
+    auto profile = llm::o4mini_profile();
+    profile.temperament.hallucination_rate = 0.45;
+    const auto agent = core::make_agent(profile, 616, agent_config);
+
+    sim::EngineConfig engine_config;
+    engine_config.feedback_enabled = v.feedback;
+    engine_config.max_invalid_retries = 6;
+    sim::Engine engine(engine_config);
+    const auto result = engine.run(jobs, *agent);
+    const auto m = metrics::compute_metrics(result, engine_config.cluster);
+
+    // Wasted = latency of calls whose action was rejected.
+    double wasted = 0.0;
+    for (const auto& call : agent->transcript().calls()) {
+      if (!call.accepted && (call.action == sim::ActionType::kStartJob ||
+                             call.action == sim::ActionType::kBackfillJob)) {
+        wasted += call.latency_seconds;
+      }
+    }
+    const double useful = agent->transcript().total_elapsed_successful();
+
+    table.add_row({v.name, std::to_string(agent->transcript().n_calls()),
+                   std::to_string(result.n_invalid_actions),
+                   util::format_duration(wasted), util::format_duration(useful),
+                   util::TextTable::num(m.makespan, 0),
+                   util::TextTable::num(m.node_util, 3)});
+    csv.add_row({v.name, std::to_string(agent->transcript().n_calls()),
+                 std::to_string(result.n_invalid_actions), util::format("%.1f", wasted),
+                 util::format("%.1f", useful), util::format("%.3f", m.makespan),
+                 util::format("%.5f", m.node_util)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("Read-out: schedule quality is invariant (constraint enforcement protects\n"
+              "the cluster - the paper's Section 2.4 separation), but removing memory or\n"
+              "feedback burns extra LLM calls and API time on re-proposed infeasible\n"
+              "actions.\n\n");
+  csv.save(bench::results_path("ablation_agent_components.csv"));
+  std::printf("CSV written to %s\n",
+              bench::results_path("ablation_agent_components.csv").c_str());
+  return 0;
+}

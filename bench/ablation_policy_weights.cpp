@@ -1,0 +1,81 @@
+// Ablation: objective temperament drives the fairness/efficiency trade-off
+// the paper attributes to the two models (Section 3.5), and the optimizer's
+// missing fairness term explains its degradation.
+//
+// Part A sweeps the LLM temperament's fairness weight (renormalizing the
+// rest) on Long-Job Dominant; Part B adds a wait term to the OR objective.
+// Expected: fairness metrics rise monotonically-ish with the fairness
+// weight while utilization/throughput give ground; the OR optimizer regains
+// fairness as wait_weight grows, at a makespan/utilization cost.
+
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/factory.hpp"
+#include "metrics/metrics.hpp"
+#include "opt/optimizing_scheduler.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+using namespace reasched;
+
+int main() {
+  bench::print_header("Ablation - objective weights",
+                      "A: LLM fairness-weight sweep; B: OR wait-term sweep");
+
+  const auto jobs = workload::make_generator(workload::Scenario::kLongJobDominant)
+                        ->generate(60, 2718);
+  sim::Engine engine;
+
+  std::printf("A) LLM temperament: fairness weight sweep (Long-Job Dominant, 60 jobs)\n");
+  util::TextTable a({"w_fairness", "Avg wait", "Wait fairness", "User fairness",
+                     "Node util", "Makespan"});
+  util::CsvTable csv({"part", "knob", "avg_wait", "wait_fairness", "user_fairness",
+                      "node_util", "makespan"});
+  for (const double wf : {0.0, 0.15, 0.3, 0.5, 0.7}) {
+    auto profile = llm::claude37_profile();
+    const double rest = 1.0 - wf;
+    profile.temperament.w_fairness = wf;
+    profile.temperament.w_makespan = rest * 0.28;
+    profile.temperament.w_utilization = rest * 0.34;
+    profile.temperament.w_throughput = rest * 0.38;
+    profile.display_name = util::format("fairness=%.2f", wf);
+    const auto agent = core::make_agent(profile, 2718);
+    const auto m =
+        metrics::compute_metrics(engine.run(jobs, *agent), engine.config().cluster);
+    a.add_row({util::TextTable::num(wf, 2), util::TextTable::num(m.avg_wait, 1),
+               util::TextTable::num(m.wait_fairness, 3),
+               util::TextTable::num(m.user_fairness, 3),
+               util::TextTable::num(m.node_util, 3),
+               util::TextTable::num(m.makespan, 0)});
+    csv.add_row({"llm_fairness", util::format("%.2f", wf), util::format("%.3f", m.avg_wait),
+                 util::format("%.5f", m.wait_fairness),
+                 util::format("%.5f", m.user_fairness), util::format("%.5f", m.node_util),
+                 util::format("%.3f", m.makespan)});
+  }
+  std::printf("%s\n", a.render().c_str());
+
+  std::printf("B) OR-Tools* objective: wait-term sweep (same workload)\n");
+  util::TextTable b({"wait_weight", "Avg wait", "Wait fairness", "Node util", "Makespan"});
+  for (const double ww : {0.0, 0.01, 0.05, 0.2}) {
+    opt::OptimizingSchedulerConfig config;
+    config.seed = 2718;
+    config.weights.wait_weight = ww;
+    opt::OptimizingScheduler scheduler(config);
+    const auto m =
+        metrics::compute_metrics(engine.run(jobs, scheduler), engine.config().cluster);
+    b.add_row({util::TextTable::num(ww, 2), util::TextTable::num(m.avg_wait, 1),
+               util::TextTable::num(m.wait_fairness, 3),
+               util::TextTable::num(m.node_util, 3),
+               util::TextTable::num(m.makespan, 0)});
+    csv.add_row({"or_wait", util::format("%.2f", ww), util::format("%.3f", m.avg_wait),
+                 util::format("%.5f", m.wait_fairness), "",
+                 util::format("%.5f", m.node_util), util::format("%.3f", m.makespan)});
+  }
+  std::printf("%s\n", b.render().c_str());
+
+  csv.save(bench::results_path("ablation_policy_weights.csv"));
+  std::printf("CSV written to %s\n",
+              bench::results_path("ablation_policy_weights.csv").c_str());
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Micro-benchmarks for the optimization substrate: the list-schedule
+// decoder (the SA inner loop), resource-profile queries, simulated
+// annealing and exact branch-and-bound - establishing that the OR-Tools
+// substitute can replan at interactive rates for the paper's queue sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "opt/branch_and_bound.hpp"
+#include "opt/list_scheduler.hpp"
+#include "opt/resource_profile.hpp"
+#include "opt/simulated_annealing.hpp"
+#include "workload/generator.hpp"
+
+using namespace reasched;
+
+namespace {
+
+opt::Problem hetmix_problem(std::size_t n) {
+  opt::Problem p;
+  p.total_nodes = 256;
+  p.total_memory_gb = 2048;
+  p.jobs = workload::make_generator(workload::Scenario::kHeterogeneousMix)
+               ->generate(n, 777, workload::ArrivalMode::kStatic);
+  return p;
+}
+
+void BM_DecodeOrder(benchmark::State& state) {
+  const auto p = hetmix_problem(static_cast<std::size_t>(state.range(0)));
+  const auto order = opt::order_by_arrival(p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::decode_order(p, order));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeOrder)->Arg(10)->Arg(50)->Arg(100)->Arg(400);
+
+void BM_SimulatedAnnealing(benchmark::State& state) {
+  const auto p = hetmix_problem(60);
+  const auto seed_order = opt::order_spt(p);
+  opt::SaConfig config;
+  config.iterations = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(42);
+    benchmark::DoNotOptimize(
+        opt::simulated_annealing(p, seed_order, {}, config, rng));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatedAnnealing)->Arg(500)->Arg(4000);
+
+void BM_BranchAndBoundExact(benchmark::State& state) {
+  const auto p = hetmix_problem(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::branch_and_bound(p, {}));
+  }
+}
+BENCHMARK(BM_BranchAndBoundExact)->Arg(6)->Arg(8)->Arg(9);
+
+void BM_ResourceProfileAdd(benchmark::State& state) {
+  const auto p = hetmix_problem(static_cast<std::size_t>(state.range(0)));
+  const auto plan = opt::decode_order(p, opt::order_by_arrival(p));
+  for (auto _ : state) {
+    opt::ResourceProfile profile(p.total_nodes, p.total_memory_gb);
+    for (const auto& job : p.jobs) {
+      profile.add(plan.start_times.at(job.id), job.duration, job.nodes, job.memory_gb);
+    }
+    benchmark::DoNotOptimize(profile.peak_nodes());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ResourceProfileAdd)->Arg(50)->Arg(100);
+
+void BM_EarliestFit(benchmark::State& state) {
+  const auto p = hetmix_problem(100);
+  opt::ResourceProfile profile(p.total_nodes, p.total_memory_gb);
+  const auto plan = opt::decode_order(p, opt::order_by_arrival(p));
+  for (const auto& job : p.jobs) {
+    profile.add(plan.start_times.at(job.id), job.duration, job.nodes, job.memory_gb);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(profile.earliest_fit(0.0, 300.0, 128, 512.0));
+  }
+}
+BENCHMARK(BM_EarliestFit);
+
+}  // namespace
+
+BENCHMARK_MAIN();

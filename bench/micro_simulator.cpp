@@ -1,0 +1,102 @@
+// Micro-benchmarks for the simulation substrate: event-engine throughput,
+// first-fit checks, prompt rendering, response parsing and scratchpad
+// rendering - the per-decision costs that bound how far the simulator
+// scales beyond the paper's 100-job experiments.
+
+#include <benchmark/benchmark.h>
+
+#include "core/action_parser.hpp"
+#include "core/prompt_builder.hpp"
+#include "core/scratchpad.hpp"
+#include "sched/fcfs.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+using namespace reasched;
+
+namespace {
+
+std::vector<sim::Job> hetmix_jobs(std::size_t n) {
+  return workload::make_generator(workload::Scenario::kHeterogeneousMix)
+      ->generate(n, 12345);
+}
+
+void BM_EngineFcfsRun(benchmark::State& state) {
+  const auto jobs = hetmix_jobs(static_cast<std::size_t>(state.range(0)));
+  sim::EngineConfig config;
+  config.record_traces = false;
+  sim::Engine engine(config);
+  sched::FcfsScheduler fcfs;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(jobs, fcfs));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EngineFcfsRun)->Arg(10)->Arg(100)->Arg(1000);
+
+void BM_ClusterFirstFitCheck(benchmark::State& state) {
+  sim::ClusterState cluster(sim::ClusterSpec::paper_default());
+  const auto jobs = hetmix_jobs(64);
+  for (const auto& j : jobs) {
+    if (cluster.fits(j) && cluster.running_count() < 16) cluster.allocate(j, 0.0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.fits(jobs[i++ % jobs.size()]));
+  }
+}
+BENCHMARK(BM_ClusterFirstFitCheck);
+
+void BM_WorkloadGeneration(benchmark::State& state) {
+  const auto gen = workload::make_generator(workload::Scenario::kHeterogeneousMix);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen->generate(static_cast<std::size_t>(state.range(0)), ++seed));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WorkloadGeneration)->Arg(100)->Arg(1000);
+
+void BM_PromptBuild(benchmark::State& state) {
+  const auto jobs = hetmix_jobs(static_cast<std::size_t>(state.range(0)));
+  sim::ClusterState cluster(sim::ClusterSpec::paper_default());
+  std::vector<sim::Job> ineligible;
+  std::vector<sim::ClusterState::Allocation> running;
+  std::vector<sim::CompletedJob> completed;
+  const sim::DecisionContext ctx{0.0,     cluster,   jobs, ineligible,
+                                 running, completed, true, jobs.size()};
+  const core::PromptBuilder builder{core::AgentConfig{}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.build(ctx, "(nothing yet)\n"));
+  }
+}
+BENCHMARK(BM_PromptBuild)->Arg(10)->Arg(100);
+
+void BM_ActionParse(benchmark::State& state) {
+  const std::string text =
+      "Thought: I need to analyze the current system state and the job queue to make an "
+      "optimal scheduling decision. Job 40 requires only 4 nodes and finishes quickly.\n"
+      "Action: BackfillJob(job_id=40)";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::parse_response(text));
+  }
+}
+BENCHMARK(BM_ActionParse);
+
+void BM_ScratchpadRender(benchmark::State& state) {
+  core::Scratchpad pad;
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    pad.record_decision(i, "thought about job " + std::to_string(i),
+                        sim::Action::start(i + 1));
+    pad.record_verdict(i % 7 != 0, "rejected for test");
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pad.render(8000));
+  }
+}
+BENCHMARK(BM_ScratchpadRender)->Arg(50)->Arg(500);
+
+}  // namespace
+
+BENCHMARK_MAIN();

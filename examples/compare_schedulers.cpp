@@ -1,0 +1,53 @@
+// Compare all five paper methods (plus optional extensions) on one scenario,
+// printing the FCFS-normalized metric table exactly as the paper's figures
+// report it.
+//
+//   ./examples/compare_schedulers [--scenario hetmix] [--jobs 60] [--seed 42]
+//                                 [--static] [--extensions] [--raw]
+
+#include <cstdio>
+
+#include "harness/experiment.hpp"
+#include "metrics/report.hpp"
+#include "util/cli.hpp"
+#include "workload/generator.hpp"
+
+using namespace reasched;
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto scenario =
+      workload::scenario_from_string(args.get("scenario", "hetmix"))
+          .value_or(workload::Scenario::kHeterogeneousMix);
+  const auto n_jobs = static_cast<std::size_t>(args.get_int("jobs", 60));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto mode = args.has("static") ? workload::ArrivalMode::kStatic
+                                       : workload::ArrivalMode::kPoisson;
+
+  const auto jobs = workload::make_generator(scenario)->generate(n_jobs, seed, mode);
+  std::printf("Scenario: %s - %zu jobs, %s arrivals\n%s\n\n",
+              workload::to_string(scenario).c_str(), jobs.size(),
+              mode == workload::ArrivalMode::kStatic ? "static (all at t=0)" : "Poisson",
+              workload::describe(scenario).c_str());
+
+  std::vector<harness::Method> methods = harness::paper_methods();
+  if (args.has("extensions")) {
+    methods.push_back(harness::Method::kEasyBackfill);
+    methods.push_back(harness::Method::kFastLocal);
+  }
+
+  std::vector<metrics::MethodResult> rows;
+  for (const auto method : methods) {
+    const auto outcome = harness::run_method(jobs, method, seed);
+    rows.push_back({harness::method_name(method), outcome.metrics});
+    if (outcome.overhead) {
+      std::printf("  %-12s %3zu LLM calls, %.0f s simulated API time\n",
+                  harness::method_name(method).c_str(), outcome.overhead->n_calls,
+                  outcome.overhead->total_elapsed_s);
+    }
+  }
+  std::printf("\nAll metrics normalized to FCFS = 1.0 (lower is better for "
+              "makespan/wait/turnaround; higher for the rest; n/a = undefined 0/0):\n\n%s",
+              metrics::render_normalized_table(rows, "FCFS", args.has("raw")).c_str());
+  return 0;
+}

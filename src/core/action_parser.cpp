@@ -1,0 +1,114 @@
+#include "core/action_parser.hpp"
+
+#include <cctype>
+
+#include "util/string_utils.hpp"
+
+namespace reasched::core {
+
+namespace {
+
+/// Strip markdown bullets / emphasis that models sometimes wrap actions in.
+std::string strip_decoration(std::string s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '*' || c == '`' || c == '#' || c == '>') continue;
+    out += c;
+  }
+  return util::trim(out);
+}
+
+/// Extract the first integer appearing in `s`, if any.
+std::optional<int> first_int(const std::string& s) {
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (std::isdigit(static_cast<unsigned char>(s[i])) != 0) {
+      std::size_t j = i;
+      while (j < s.size() && std::isdigit(static_cast<unsigned char>(s[j])) != 0) ++j;
+      const auto v = util::parse_int(s.substr(i, j - i));
+      if (v) return static_cast<int>(*v);
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::Action> parse_action_expr(const std::string& raw, std::string& error) {
+  const std::string body = strip_decoration(raw);
+  const std::string lower = util::to_lower(body);
+
+  auto verb_is = [&lower](const char* canonical, const char* snake) {
+    return util::starts_with_icase(lower, canonical) || util::starts_with_icase(lower, snake);
+  };
+
+  if (verb_is("delay", "delay")) return sim::Action::delay();
+  if (verb_is("stop", "stop")) return sim::Action::stop();
+
+  const bool is_start = verb_is("startjob", "start_job");
+  const bool is_backfill = verb_is("backfilljob", "backfill_job");
+  if (is_start || is_backfill) {
+    const auto id = first_int(body);
+    if (!id) {
+      error = "action names a job verb but no job id could be found: '" + body + "'";
+      return std::nullopt;
+    }
+    if (*id <= 0) {
+      error = util::format("job id must be positive, got %d", *id);
+      return std::nullopt;
+    }
+    return is_start ? sim::Action::start(*id) : sim::Action::backfill(*id);
+  }
+  error = "unrecognized action verb in: '" + body + "'";
+  return std::nullopt;
+}
+
+}  // namespace
+
+ParsedResponse parse_response(const std::string& text) {
+  ParsedResponse out;
+
+  // Collect the thought (everything after the first "Thought:" until the
+  // action line) and the *last* "Action:" line - models occasionally restate
+  // actions while reasoning; the final one is authoritative.
+  const auto lines = util::split_lines(text);
+  std::string action_line;
+  bool in_thought = false;
+  for (const auto& raw_line : lines) {
+    const std::string line = util::trim(raw_line);
+    const std::string stripped = strip_decoration(line);
+    if (util::starts_with_icase(stripped, "action:")) {
+      action_line = util::trim(stripped.substr(7));
+      in_thought = false;
+      continue;
+    }
+    if (util::starts_with_icase(stripped, "thought:")) {
+      in_thought = true;
+      out.thought = util::trim(stripped.substr(8));
+      continue;
+    }
+    if (in_thought) {
+      if (!out.thought.empty()) out.thought += '\n';
+      out.thought += raw_line;
+    }
+  }
+
+  if (action_line.empty()) {
+    // Fall back: maybe the whole response *is* a bare action.
+    const std::string whole = strip_decoration(util::trim(text));
+    std::string error;
+    const auto action = parse_action_expr(whole, error);
+    if (action) {
+      out.action = action;
+      return out;
+    }
+    out.error = "no 'Action:' line found in response";
+    return out;
+  }
+
+  std::string error;
+  out.action = parse_action_expr(action_line, error);
+  if (!out.action) out.error = error;
+  return out;
+}
+
+}  // namespace reasched::core

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sim/action.hpp"
+
+namespace reasched::core {
+
+/// Result of parsing one ReAct-formatted completion.
+struct ParsedResponse {
+  std::optional<sim::Action> action;  ///< nullopt when the text is unusable
+  std::string thought;                ///< text following "Thought:" (may be empty)
+  std::string error;                  ///< parse diagnostic when action is nullopt
+};
+
+/// Parses "Thought: ...\nAction: ..." completions into structured actions.
+/// Deliberately lenient about surface form - real models emit markdown
+/// bullets, spacing quirks and case variations - but strict about substance:
+/// an unknown verb or a non-numeric job id is an error, never a guess.
+///
+/// Accepted action spellings (case-insensitive):
+///   StartJob(job_id=12) | StartJob(12) | StartJob: 12 | start_job(job_id=12)
+///   BackfillJob(...) likewise | Delay | Stop
+ParsedResponse parse_response(const std::string& text);
+
+}  // namespace reasched::core

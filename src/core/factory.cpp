@@ -1,0 +1,26 @@
+#include "core/factory.hpp"
+
+#include "llm/simulated_reasoner.hpp"
+
+namespace reasched::core {
+
+std::unique_ptr<ReActAgent> make_agent(const llm::ModelProfile& profile, std::uint64_t seed,
+                                       AgentConfig config) {
+  config.seed = seed;
+  auto client = std::make_shared<llm::SimulatedReasoner>(profile, seed);
+  return std::make_unique<ReActAgent>(std::move(client), profile, config);
+}
+
+std::unique_ptr<ReActAgent> make_claude37_agent(std::uint64_t seed, AgentConfig config) {
+  return make_agent(llm::claude37_profile(), seed, config);
+}
+
+std::unique_ptr<ReActAgent> make_o4mini_agent(std::uint64_t seed, AgentConfig config) {
+  return make_agent(llm::o4mini_profile(), seed, config);
+}
+
+std::unique_ptr<ReActAgent> make_fast_local_agent(std::uint64_t seed, AgentConfig config) {
+  return make_agent(llm::fast_local_profile(), seed, config);
+}
+
+}  // namespace reasched::core

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <memory>
+
+#include "core/agent_config.hpp"
+#include "core/react_agent.hpp"
+#include "llm/model_profile.hpp"
+
+namespace reasched::core {
+
+/// Convenience constructors for the two paper agents and the on-prem
+/// extension profile, each backed by a seeded SimulatedReasoner.
+std::unique_ptr<ReActAgent> make_agent(const llm::ModelProfile& profile, std::uint64_t seed,
+                                       AgentConfig config = {});
+
+std::unique_ptr<ReActAgent> make_claude37_agent(std::uint64_t seed, AgentConfig config = {});
+std::unique_ptr<ReActAgent> make_o4mini_agent(std::uint64_t seed, AgentConfig config = {});
+std::unique_ptr<ReActAgent> make_fast_local_agent(std::uint64_t seed, AgentConfig config = {});
+
+}  // namespace reasched::core

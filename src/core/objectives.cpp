@@ -1,0 +1,36 @@
+#include "core/objectives.hpp"
+
+namespace reasched::core {
+
+std::string objectives_block() {
+  return
+      "Your scheduling objectives are:\n"
+      "You must balance all of the following:\n"
+      "* Fairness: Minimize variance in user wait times. Avoid starving any user.\n"
+      "* Makespan: Minimize total time to finish all jobs.\n"
+      "* Utilization: Maximize Node & memory usage over time (avoid idle resources).\n"
+      "* Throughput: Maximize the number of jobs completed per unit time.\n"
+      "* Feasibility: Do not exceed the system's Nodes or memory at any time.\n"
+      "Trade-offs are allowed. Do not over-optimize one metric at the expense of others.\n"
+      "For example:\n"
+      "* Prioritizing a long-waiting job improves fairness, but may slightly hurt makespan.\n"
+      "* Choosing short jobs improves throughput, but may increase wait time for large "
+      "jobs.\n";
+}
+
+std::string action_menu_block() {
+  return
+      "Decide:\n"
+      "(1) Which job should be started now (if any)?\n"
+      "(2) Justify your decision in thought.\n"
+      "(3) Return only one of:\n"
+      "* StartJob(job_id=X)\n"
+      "* BackfillJob(job_id=Y)\n"
+      "* Delay\n"
+      "* Stop (when all jobs have been scheduled)\n"
+      "Output format:\n"
+      "Thought: <your reasoning>\n"
+      "Action: <your action>\n";
+}
+
+}  // namespace reasched::core

@@ -1,0 +1,15 @@
+#pragma once
+
+#include <string>
+
+namespace reasched::core {
+
+/// The multiobjective instruction block of the paper's prompt (Section 3.4),
+/// verbatim in structure: the five goals plus the explicit trade-off
+/// guidance.
+std::string objectives_block();
+
+/// The action-menu / output-format epilogue of the prompt.
+std::string action_menu_block();
+
+}  // namespace reasched::core

@@ -1,0 +1,25 @@
+#pragma once
+
+#include <string>
+
+#include "core/agent_config.hpp"
+#include "sim/scheduler.hpp"
+
+namespace reasched::core {
+
+/// Renders the paper's exact prompt (Section 3.4): role preamble, system
+/// capacity, current time, available resources, running / completed /
+/// waiting job listings, the scratchpad decision history, the multiobjective
+/// instruction block and the action menu. The prompt is the authoritative
+/// observation channel - a real LLM backend sees nothing else.
+class PromptBuilder {
+ public:
+  explicit PromptBuilder(AgentConfig config) : config_(config) {}
+
+  std::string build(const sim::DecisionContext& ctx, const std::string& scratchpad_text) const;
+
+ private:
+  AgentConfig config_;
+};
+
+}  // namespace reasched::core

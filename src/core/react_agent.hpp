@@ -1,0 +1,59 @@
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/agent_config.hpp"
+#include "core/prompt_builder.hpp"
+#include "core/scratchpad.hpp"
+#include "llm/message.hpp"
+#include "llm/model_profile.hpp"
+#include "llm/transcript.hpp"
+#include "sim/scheduler.hpp"
+
+namespace reasched::core {
+
+/// The paper's contribution (Section 2): a ReAct-style LLM scheduling agent
+/// implementing Algorithm 1. At every decision point it
+///
+///   1. renders the full prompt (state + queue + scratchpad + objectives),
+///   2. queries the LLM client,
+///   3. parses the "Thought / Action" completion into a structured action,
+///   4. hands the action to the engine, whose constraint checker accepts or
+///      rejects it; rejections come back as natural-language feedback
+///      (on_feedback) and are appended to the scratchpad,
+///   5. logs everything into a Transcript for the overhead analysis.
+///
+/// The agent is model-agnostic: any llm::Client works - the simulated
+/// reasoners, the scripted test double, or a real HTTP backend.
+class ReActAgent final : public sim::Scheduler {
+ public:
+  ReActAgent(std::shared_ptr<llm::Client> client, llm::ModelProfile profile,
+             AgentConfig config = {});
+
+  sim::Action decide(const sim::DecisionContext& ctx) override;
+  void on_feedback(const std::string& feedback, const sim::DecisionContext& ctx) override;
+  void on_accepted(const sim::Action& action, const sim::DecisionContext& ctx) override;
+  std::string last_thought() const override { return last_thought_; }
+  std::string name() const override { return profile_.display_name; }
+  void reset() override;
+
+  const llm::Transcript& transcript() const { return transcript_; }
+  const Scratchpad& scratchpad() const { return scratchpad_; }
+  std::size_t parse_failures() const { return parse_failures_; }
+  /// Full prompt of the most recent decision (tests / trace example).
+  const std::string& last_prompt() const { return last_prompt_; }
+
+ private:
+  std::shared_ptr<llm::Client> client_;
+  llm::ModelProfile profile_;
+  AgentConfig config_;
+  PromptBuilder prompt_builder_;
+  Scratchpad scratchpad_;
+  llm::Transcript transcript_;
+  std::string last_thought_;
+  std::string last_prompt_;
+  std::size_t parse_failures_ = 0;
+};
+
+}  // namespace reasched::core

@@ -1,0 +1,91 @@
+#include "core/scratchpad.hpp"
+
+#include <sstream>
+
+#include "llm/token_counter.hpp"
+#include "util/string_utils.hpp"
+#include "util/time_format.hpp"
+
+namespace reasched::core {
+
+namespace {
+std::string first_line(const std::string& text) {
+  const auto pos = text.find('\n');
+  return pos == std::string::npos ? text : text.substr(0, pos);
+}
+}  // namespace
+
+void Scratchpad::record_decision(double time, const std::string& thought,
+                                 const sim::Action& action) {
+  Entry e;
+  e.time = time;
+  e.thought_summary = first_line(thought);
+  e.action = action;
+  entries_.push_back(std::move(e));
+}
+
+void Scratchpad::record_verdict(bool accepted, const std::string& feedback) {
+  if (entries_.empty()) return;
+  entries_.back().accepted = accepted;
+  if (!accepted) entries_.back().feedback = feedback;
+}
+
+void Scratchpad::record_note(double time, const std::string& note) {
+  Entry e;
+  e.time = time;
+  e.thought_summary = note;
+  e.action = sim::Action::delay();
+  e.accepted = false;
+  e.feedback = note;
+  entries_.push_back(std::move(e));
+}
+
+void Scratchpad::clear() { entries_.clear(); }
+
+std::vector<sim::JobId> Scratchpad::rejected_at(double now) const {
+  std::vector<sim::JobId> out;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->time != now) break;  // entries are time-ordered; stop at older steps
+    if (!it->accepted && it->action.places_job()) out.push_back(it->action.job_id);
+  }
+  return out;
+}
+
+std::size_t Scratchpad::accepted_count() const {
+  std::size_t n = 0;
+  for (const auto& e : entries_) n += e.accepted ? 1 : 0;
+  return n;
+}
+
+std::size_t Scratchpad::rejected_count() const { return entries_.size() - accepted_count(); }
+
+std::string Scratchpad::render(int token_budget) const {
+  if (entries_.empty()) return "(nothing yet)\n";
+
+  // Render newest-last; walk backwards accumulating until the budget is hit.
+  std::vector<std::string> lines;
+  int used_tokens = 0;
+  std::size_t kept = 0;
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    std::ostringstream line;
+    line << util::format_sim_time(it->time) << " Action: " << it->action.to_string()
+         << (it->accepted ? "" : " [REJECTED]");
+    if (!it->thought_summary.empty()) line << " | " << it->thought_summary;
+    if (!it->feedback.empty()) line << "\n  " << it->feedback;
+    std::string rendered = line.str();
+    const int cost = llm::estimate_tokens(rendered);
+    if (used_tokens + cost > token_budget && kept > 0) break;
+    used_tokens += cost;
+    lines.push_back(std::move(rendered));
+    ++kept;
+  }
+  std::ostringstream os;
+  if (kept < entries_.size()) {
+    os << util::format("(%zu earlier decisions summarized: %zu accepted, %zu rejected)\n",
+                       entries_.size() - kept, accepted_count(), rejected_count());
+  }
+  for (auto it = lines.rbegin(); it != lines.rend(); ++it) os << *it << '\n';
+  return os.str();
+}
+
+}  // namespace reasched::core

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/action.hpp"
+
+namespace reasched::core {
+
+/// The agent's persistent memory (paper Section 2.2): a running log of
+/// thoughts, actions and environment feedback that is re-rendered into every
+/// prompt. Acts as a form of memory enabling continuity across steps without
+/// retraining; constraint-violation feedback lands here so the next decision
+/// can avoid the same mistake.
+class Scratchpad {
+ public:
+  struct Entry {
+    double time = 0.0;
+    std::string thought_summary;  ///< first line of the thought, for compactness
+    sim::Action action;
+    bool accepted = true;
+    std::string feedback;  ///< environment feedback when rejected
+  };
+
+  void record_decision(double time, const std::string& thought, const sim::Action& action);
+  /// Attach the verdict (and feedback text if rejected) to the most recent
+  /// decision. No-op when empty (defensive: feedback before any decision).
+  void record_verdict(bool accepted, const std::string& feedback);
+  /// Free-form note (e.g. "response could not be parsed").
+  void record_note(double time, const std::string& note);
+
+  void clear();
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const std::vector<Entry>& entries() const { return entries_; }
+
+  /// Job ids rejected by constraint enforcement at exactly time `now` -
+  /// the agent should not immediately retry these (they become feasible
+  /// again only after the state changes).
+  std::vector<sim::JobId> rejected_at(double now) const;
+
+  /// Render as the "# Scratchpad (Decision History)" prompt section.
+  /// Newest entries are kept verbatim within `token_budget`; older ones
+  /// collapse into a single summary line. Renders "(nothing yet)" if empty.
+  std::string render(int token_budget) const;
+
+  /// Counters used by summaries and the ablation analysis.
+  std::size_t accepted_count() const;
+  std::size_t rejected_count() const;
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace reasched::core

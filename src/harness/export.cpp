@@ -1,0 +1,109 @@
+#include "harness/export.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+#include "util/json_writer.hpp"
+#include "util/string_utils.hpp"
+
+namespace reasched::harness {
+
+util::CsvTable schedule_to_csv(const sim::ScheduleResult& result) {
+  util::CsvTable t({"job_id", "user", "group", "nodes", "memory_gb", "submit", "start",
+                    "end", "wait", "turnaround"});
+  for (const auto& c : result.completed) {
+    t.add_row({std::to_string(c.job.id), std::to_string(c.job.user),
+               std::to_string(c.job.group), std::to_string(c.job.nodes),
+               util::format("%.3f", c.job.memory_gb), util::format("%.3f", c.job.submit_time),
+               util::format("%.3f", c.start_time), util::format("%.3f", c.end_time),
+               util::format("%.3f", c.wait_time()), util::format("%.3f", c.turnaround_time())});
+  }
+  return t;
+}
+
+util::CsvTable decisions_to_csv(const sim::ScheduleResult& result) {
+  util::CsvTable t({"time", "action", "job_id", "accepted", "thought_summary", "feedback"});
+  for (const auto& d : result.decisions) {
+    std::string thought = d.thought;
+    const auto newline = thought.find('\n');
+    if (newline != std::string::npos) thought.resize(newline);
+    t.add_row({util::format("%.3f", d.time), sim::to_string(d.action.type),
+               std::to_string(d.action.job_id), d.accepted ? "1" : "0", thought,
+               d.feedback});
+  }
+  return t;
+}
+
+util::CsvTable overhead_to_csv(const OverheadSummary& overhead,
+                               const sim::ScheduleResult& result) {
+  (void)result;
+  util::CsvTable t({"call_index", "latency_s"});
+  for (std::size_t i = 0; i < overhead.latencies.size(); ++i) {
+    t.add_row({std::to_string(i), util::format("%.4f", overhead.latencies[i])});
+  }
+  return t;
+}
+
+std::string run_to_json(const RunOutcome& outcome, const std::string& method_name) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.kv("method", method_name);
+
+  w.key("metrics").begin_object();
+  for (const auto metric : metrics::all_metrics()) {
+    w.kv(metrics::to_string(metric), outcome.metrics.get(metric));
+  }
+  w.kv("energy_kwh", outcome.metrics.energy_kwh);
+  w.end_object();
+
+  w.key("counters")
+      .begin_object()
+      .kv("decisions", outcome.schedule.n_decisions)
+      .kv("invalid_actions", outcome.schedule.n_invalid_actions)
+      .kv("forced_delays", outcome.schedule.n_forced_delays)
+      .kv("backfills", outcome.schedule.n_backfills)
+      .kv("final_time", outcome.schedule.final_time)
+      .end_object();
+
+  w.key("schedule").begin_array();
+  for (const auto& c : outcome.schedule.completed) {
+    w.begin_object()
+        .kv("job", c.job.id)
+        .kv("user", c.job.user)
+        .kv("nodes", c.job.nodes)
+        .kv("memory_gb", c.job.memory_gb)
+        .kv("submit", c.job.submit_time)
+        .kv("start", c.start_time)
+        .kv("end", c.end_time)
+        .end_object();
+  }
+  w.end_array();
+
+  if (outcome.overhead) {
+    const auto& o = *outcome.overhead;
+    w.key("overhead")
+        .begin_object()
+        .kv("calls", o.n_calls)
+        .kv("successful", o.n_successful)
+        .kv("total_elapsed_s", o.total_elapsed_s)
+        .kv("prompt_tokens", o.prompt_tokens)
+        .kv("completion_tokens", o.completion_tokens)
+        .key("latencies_s")
+        .begin_array();
+    for (const double l : o.latencies) w.value(l);
+    w.end_array().end_object();
+  } else {
+    w.key("overhead").null();
+  }
+  w.end_object();
+  return w.str();
+}
+
+void save_run_json(const RunOutcome& outcome, const std::string& method_name,
+                   const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("save_run_json: cannot open " + path);
+  f << run_to_json(outcome, method_name);
+}
+
+}  // namespace reasched::harness

@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "harness/experiment.hpp"
+#include "util/csv.hpp"
+
+namespace reasched::harness {
+
+/// Persistence for downstream analysis: everything a run produced, in
+/// machine-readable form. The figure benches use the CSV side; the JSON
+/// export bundles schedule + decisions + metrics + overhead into a single
+/// self-describing document per run.
+
+/// One row per completed job: id, user, resources, submit/start/end,
+/// wait/turnaround.
+util::CsvTable schedule_to_csv(const sim::ScheduleResult& result);
+
+/// One row per decision: time, action, accepted, thought (first line),
+/// feedback.
+util::CsvTable decisions_to_csv(const sim::ScheduleResult& result);
+
+/// One row per LLM call: sim time, action, accepted, latency, tokens.
+util::CsvTable overhead_to_csv(const OverheadSummary& overhead,
+                               const sim::ScheduleResult& result);
+
+/// Full run bundle as a JSON document (schedule, counters, metrics,
+/// optional overhead).
+std::string run_to_json(const RunOutcome& outcome, const std::string& method_name);
+
+/// Convenience: write run_to_json to a file.
+void save_run_json(const RunOutcome& outcome, const std::string& method_name,
+                   const std::string& path);
+
+}  // namespace reasched::harness

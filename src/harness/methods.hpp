@@ -1,0 +1,33 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace reasched::harness {
+
+/// The scheduling methods compared in the paper's figures, plus the
+/// extensions this reproduction adds (EASY backfilling, on-prem profile).
+enum class Method {
+  kFcfs,
+  kSjf,
+  kOrTools,   ///< optimization baseline (OR-Tools substitute, src/opt)
+  kClaude37,  ///< ReAct agent, Claude 3.7 profile
+  kO4Mini,    ///< ReAct agent, O4-Mini profile
+  kEasyBackfill,
+  kFastLocal,
+};
+
+/// The five methods of Figures 3/4/7/8, in presentation order.
+const std::vector<Method>& paper_methods();
+
+std::string method_name(Method m);
+bool is_llm_method(Method m);
+
+/// Instantiate a fresh scheduler for one run. `seed` feeds every stochastic
+/// component (SA restarts, decision noise, latency sampling).
+std::unique_ptr<sim::Scheduler> make_scheduler(Method m, std::uint64_t seed);
+
+}  // namespace reasched::harness

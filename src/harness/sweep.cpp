@@ -1,0 +1,69 @@
+#include "harness/sweep.hpp"
+
+#include <mutex>
+#include <tuple>
+
+#include "util/thread_pool.hpp"
+
+namespace reasched::harness {
+
+bool operator<(const Cell& a, const Cell& b) {
+  return std::tie(a.scenario, a.n_jobs, a.method, a.repetition) <
+         std::tie(b.scenario, b.n_jobs, b.method, b.repetition);
+}
+
+bool operator<(const GroupKey& a, const GroupKey& b) {
+  return std::tie(a.scenario, a.n_jobs, a.method) < std::tie(b.scenario, b.n_jobs, b.method);
+}
+
+std::vector<sim::Job> cell_jobs(const SweepConfig& config, workload::Scenario scenario,
+                                std::size_t n_jobs, std::size_t repetition) {
+  const std::uint64_t workload_seed = util::derive_seed(
+      util::derive_seed(config.base_seed, workload::to_string(scenario), n_jobs), "rep",
+      repetition);
+  return workload::make_generator(scenario)->generate(n_jobs, workload_seed,
+                                                      config.arrival_mode,
+                                                      config.engine.cluster);
+}
+
+std::uint64_t cell_seed(const SweepConfig& config, const Cell& cell) {
+  return util::derive_seed(
+      util::derive_seed(config.base_seed, method_name(cell.method), cell.n_jobs),
+      workload::to_string(cell.scenario), cell.repetition + 1);
+}
+
+std::map<Cell, RunOutcome> run_sweep(const SweepConfig& config) {
+  std::vector<Cell> cells;
+  for (const auto scenario : config.scenarios) {
+    for (const auto n : config.job_counts) {
+      for (const auto method : config.methods) {
+        for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+          cells.push_back(Cell{scenario, n, method, rep});
+        }
+      }
+    }
+  }
+
+  std::map<Cell, RunOutcome> results;
+  std::mutex mu;
+  util::ThreadPool pool(config.threads);
+  pool.parallel_for(cells.size(), [&](std::size_t i) {
+    const Cell& cell = cells[i];
+    const auto jobs = cell_jobs(config, cell.scenario, cell.n_jobs, cell.repetition);
+    RunOutcome outcome = run_method(jobs, cell.method, cell_seed(config, cell), config.engine);
+    std::lock_guard lock(mu);
+    results.emplace(cell, std::move(outcome));
+  });
+  return results;
+}
+
+std::map<GroupKey, metrics::MetricAggregate> aggregate_sweep(
+    const std::map<Cell, RunOutcome>& results) {
+  std::map<GroupKey, metrics::MetricAggregate> groups;
+  for (const auto& [cell, outcome] : results) {
+    groups[GroupKey{cell.scenario, cell.n_jobs, cell.method}].add(outcome.metrics);
+  }
+  return groups;
+}
+
+}  // namespace reasched::harness

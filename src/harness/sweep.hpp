@@ -1,0 +1,60 @@
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "metrics/aggregate.hpp"
+#include "workload/generator.hpp"
+
+namespace reasched::harness {
+
+/// One cell of an experiment grid.
+struct Cell {
+  workload::Scenario scenario = workload::Scenario::kHeterogeneousMix;
+  std::size_t n_jobs = 60;
+  Method method = Method::kFcfs;
+  std::size_t repetition = 0;
+};
+
+bool operator<(const Cell& a, const Cell& b);
+
+struct SweepConfig {
+  std::vector<workload::Scenario> scenarios;
+  std::vector<std::size_t> job_counts;
+  std::vector<Method> methods;
+  std::size_t repetitions = 1;
+  workload::ArrivalMode arrival_mode = workload::ArrivalMode::kPoisson;
+  std::uint64_t base_seed = 42;
+  sim::EngineConfig engine;
+  /// Worker threads for independent cells (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// Run the full grid. Each cell draws its workload from a seed derived from
+/// (base_seed, scenario, n_jobs, repetition) - so all methods in a cell see
+/// the *identical* job list (paired comparison, as in the paper) - and its
+/// scheduler from a seed additionally keyed by method and repetition.
+/// Deterministic regardless of thread count.
+std::map<Cell, RunOutcome> run_sweep(const SweepConfig& config);
+
+/// Workload for one cell (exposed so benches/tests can re-derive it).
+std::vector<sim::Job> cell_jobs(const SweepConfig& config, workload::Scenario scenario,
+                                std::size_t n_jobs, std::size_t repetition);
+
+/// Seed for one cell's scheduler.
+std::uint64_t cell_seed(const SweepConfig& config, const Cell& cell);
+
+/// Collapse repetitions: per (scenario, n_jobs, method) aggregate.
+struct GroupKey {
+  workload::Scenario scenario;
+  std::size_t n_jobs;
+  Method method;
+};
+bool operator<(const GroupKey& a, const GroupKey& b);
+
+std::map<GroupKey, metrics::MetricAggregate> aggregate_sweep(
+    const std::map<Cell, RunOutcome>& results);
+
+}  // namespace reasched::harness

@@ -1,0 +1,192 @@
+#include "llm/decision_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace reasched::llm {
+
+DecisionPolicy::DecisionPolicy(PolicyTemperament temperament) : temperament_(temperament) {}
+
+namespace {
+
+/// Gumbel(0, scale) noise - the softmax-consistent way to jitter argmax
+/// selection (equivalent to sampling from a temperature-scaled softmax).
+double gumbel_noise(double scale, util::Rng& rng) {
+  if (scale <= 0.0) return 0.0;
+  const double u = std::clamp(rng.uniform_real(1e-12, 1.0), 1e-12, 1.0 - 1e-12);
+  return -scale * std::log(-std::log(u));
+}
+
+/// Earliest time the blocked head job could start, accumulating releases in
+/// end-time order (same computation as EASY backfilling's shadow time).
+double compute_shadow(const sim::DecisionContext& ctx, const sim::Job& head) {
+  int nodes = ctx.cluster.available_nodes();
+  double memory = ctx.cluster.available_memory_gb();
+  double t = ctx.now;
+  for (const auto& alloc : ctx.running) {
+    if (nodes >= head.nodes && memory + 1e-9 >= head.memory_gb) break;
+    nodes += alloc.job.nodes;
+    memory += alloc.job.memory_gb;
+    t = alloc.end_time;
+  }
+  return t;
+}
+
+}  // namespace
+
+CandidateScore DecisionPolicy::score_job(const sim::Job& job, const sim::DecisionContext& ctx,
+                                         double max_wait, double max_walltime,
+                                         double shadow_time, double head_pressure,
+                                         util::Rng& rng) const {
+  const auto& spec = ctx.cluster.spec();
+  CandidateScore s;
+  s.id = job.id;
+  s.fits = ctx.cluster.fits(job);
+  s.nodes = job.nodes;
+  s.memory_gb = job.memory_gb;
+  s.walltime = job.walltime;
+  s.waited = ctx.now - job.submit_time;
+  s.user = job.user;
+
+  // Fairness: long-waiting jobs first, plus a starvation bonus for users who
+  // have had nothing run yet (the per-user Jain objective).
+  const double wait_share = max_wait > 0.0 ? s.waited / max_wait : 0.0;
+  bool user_served = false;
+  for (const auto& c : ctx.completed) {
+    if (c.job.user == job.user) {
+      user_served = true;
+      break;
+    }
+  }
+  if (!user_served) {
+    for (const auto& r : ctx.running) {
+      if (r.job.user == job.user) {
+        user_served = true;
+        break;
+      }
+    }
+  }
+  s.fairness = temperament_.w_fairness * (0.7 * wait_share + (user_served ? 0.0 : 0.3));
+
+  // Throughput: short jobs complete quickly (jobs / unit time).
+  const double shortness = max_walltime > 0.0 ? 1.0 - job.walltime / max_walltime : 0.0;
+  s.throughput = temperament_.w_throughput * shortness;
+
+  // Utilization: immediate node + memory occupancy gained by starting now.
+  const double occupancy = 0.5 * (static_cast<double>(job.nodes) / spec.total_nodes +
+                                  job.memory_gb / spec.total_memory_gb);
+  s.utilization = temperament_.w_utilization * occupancy;
+
+  // Makespan: LPT intuition - long/wide work started early shortens the
+  // critical path.
+  const double length_share = max_walltime > 0.0 ? job.walltime / max_walltime : 0.0;
+  s.makespan = temperament_.w_makespan *
+               (0.6 * length_share + 0.4 * static_cast<double>(job.nodes) / spec.total_nodes);
+
+  // Reservation pressure: starting a job that outlives the blocked head
+  // job's shadow window pushes the head back - penalize in proportion to
+  // how long the head has been waiting.
+  if (shadow_time > ctx.now && ctx.now + job.walltime > shadow_time + 1e-9) {
+    s.reservation_penalty =
+        temperament_.reservation_pressure * head_pressure * (0.35 + temperament_.w_fairness);
+  }
+
+  s.total = s.fairness + s.throughput + s.utilization + s.makespan - s.reservation_penalty +
+            gumbel_noise(temperament_.decision_noise, rng);
+  return s;
+}
+
+PolicyDecision DecisionPolicy::decide(const sim::DecisionContext& ctx, const PromptContext& pctx,
+                                      util::Rng& rng) const {
+  PolicyDecision d;
+
+  if (ctx.waiting.empty()) {
+    if (!ctx.arrivals_pending && ctx.ineligible.empty()) {
+      d.action = sim::Action::stop();
+      d.kind = PolicyDecision::Kind::kStopDone;
+    } else {
+      d.action = sim::Action::delay();
+      d.kind = PolicyDecision::Kind::kDelayIdle;
+    }
+    return d;
+  }
+
+  if (!ctx.running.empty()) d.next_release_time = ctx.running.front().end_time;
+
+  double max_wait = 0.0, max_walltime = 0.0, total_walltime = 0.0;
+  for (const auto& j : ctx.waiting) {
+    max_wait = std::max(max_wait, ctx.now - j.submit_time);
+    max_walltime = std::max(max_walltime, j.walltime);
+    total_walltime += j.walltime;
+  }
+  const double avg_walltime = total_walltime / static_cast<double>(ctx.waiting.size());
+
+  // Head = longest-waiting job (arrival order is maintained by the engine).
+  const sim::Job& head = ctx.waiting.front();
+  double shadow_time = -1.0;
+  double head_pressure = 0.0;
+  if (!ctx.cluster.fits(head)) {
+    d.blocked_head = head.id;
+    shadow_time = compute_shadow(ctx, head);
+    d.shadow_time = shadow_time;
+    head_pressure = std::clamp((ctx.now - head.submit_time) / (avg_walltime + 1.0), 0.0, 1.0);
+  }
+
+  const std::set<sim::JobId> rejected(pctx.recently_rejected.begin(),
+                                      pctx.recently_rejected.end());
+
+  std::vector<CandidateScore> fitting;
+  std::vector<CandidateScore> blocked;
+  for (const auto& j : ctx.waiting) {
+    if (rejected.count(j.id) != 0) continue;  // feedback said no; don't retry now
+    CandidateScore s =
+        score_job(j, ctx, max_wait, max_walltime, shadow_time, head_pressure, rng);
+    (s.fits ? fitting : blocked).push_back(std::move(s));
+  }
+  auto by_total = [](const CandidateScore& a, const CandidateScore& b) {
+    if (a.total != b.total) return a.total > b.total;
+    return a.id < b.id;
+  };
+  std::sort(fitting.begin(), fitting.end(), by_total);
+  std::sort(blocked.begin(), blocked.end(), by_total);
+
+  // Hallucinated feasibility: occasionally the model "decides" on a blocked
+  // job that scores well (cf. Figure 2, Job 32) - the constraint module
+  // rejects it and the feedback loop recovers.
+  if (!blocked.empty() && rng.bernoulli(temperament_.hallucination_rate)) {
+    d.action = sim::Action::start(blocked.front().id);
+    d.kind = PolicyDecision::Kind::kHallucinated;
+    d.scored = std::move(blocked);
+    return d;
+  }
+
+  if (fitting.empty()) {
+    d.action = sim::Action::delay();
+    d.kind = PolicyDecision::Kind::kDelayNoFit;
+    d.scored = std::move(blocked);
+    return d;
+  }
+
+  const CandidateScore& best = fitting.front();
+
+  // Deliberate reservation: when the head is blocked and even the best
+  // candidate is dominated by the cost of delaying the head further, wait.
+  if (d.blocked_head != 0) {
+    const double delay_value = temperament_.reservation_pressure * head_pressure * 0.55;
+    if (best.total < delay_value) {
+      d.action = sim::Action::delay();
+      d.kind = PolicyDecision::Kind::kDelayReserve;
+      d.scored = std::move(fitting);
+      return d;
+    }
+  }
+
+  const bool is_backfill = d.blocked_head != 0 && best.id != head.id;
+  d.action = is_backfill ? sim::Action::backfill(best.id) : sim::Action::start(best.id);
+  d.kind = is_backfill ? PolicyDecision::Kind::kBackfill : PolicyDecision::Kind::kStartBest;
+  d.scored = std::move(fitting);
+  return d;
+}
+
+}  // namespace reasched::llm

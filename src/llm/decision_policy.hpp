@@ -1,0 +1,74 @@
+#pragma once
+
+#include <vector>
+
+#include "llm/message.hpp"
+#include "llm/model_profile.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace reasched::llm {
+
+/// Per-candidate multiobjective score decomposition; the thought generator
+/// narrates these terms, so the rendered reasoning genuinely reflects the
+/// decision calculus (not post-hoc fiction).
+struct CandidateScore {
+  sim::JobId id = 0;
+  double total = 0.0;
+  double fairness = 0.0;
+  double makespan = 0.0;
+  double utilization = 0.0;
+  double throughput = 0.0;
+  double reservation_penalty = 0.0;
+  bool fits = false;
+  int nodes = 0;
+  double memory_gb = 0.0;
+  double walltime = 0.0;
+  double waited = 0.0;
+  sim::UserId user = 0;
+};
+
+/// What the policy decided and why - consumed by the thought generator.
+struct PolicyDecision {
+  enum class Kind {
+    kStartBest,     ///< start the top-scoring fitting job
+    kBackfill,      ///< opportunistic start while the head job is blocked
+    kDelayNoFit,    ///< nothing fits; wait for a completion
+    kDelayReserve,  ///< deliberately hold resources for the blocked head job
+    kDelayIdle,     ///< queue empty but arrivals pending
+    kStopDone,      ///< all jobs scheduled
+    kHallucinated,  ///< proposed a non-fitting job (will be rejected)
+  };
+
+  sim::Action action;
+  Kind kind = Kind::kDelayIdle;
+  std::vector<CandidateScore> scored;  ///< fitting candidates, best first
+  sim::JobId blocked_head = 0;         ///< head job that does not fit (0 = none)
+  double next_release_time = -1.0;     ///< earliest running-job end (narration)
+  double shadow_time = -1.0;           ///< when the blocked head could start
+};
+
+/// The multiobjective scoring policy behind the simulated reasoner. Scores
+/// every waiting job on the four prompt objectives (fairness, makespan,
+/// utilization, throughput), applies an EASY-style reservation penalty for
+/// candidates that would push a blocked head job past its shadow time, adds
+/// temperament noise, and chooses start / backfill / delay / stop exactly
+/// over the paper's action space.
+class DecisionPolicy {
+ public:
+  explicit DecisionPolicy(PolicyTemperament temperament);
+
+  PolicyDecision decide(const sim::DecisionContext& ctx, const PromptContext& pctx,
+                        util::Rng& rng) const;
+
+  const PolicyTemperament& temperament() const { return temperament_; }
+
+ private:
+  CandidateScore score_job(const sim::Job& job, const sim::DecisionContext& ctx,
+                           double max_wait, double max_walltime, double shadow_time,
+                           double head_pressure, util::Rng& rng) const;
+
+  PolicyTemperament temperament_;
+};
+
+}  // namespace reasched::llm

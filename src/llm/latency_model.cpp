@@ -1,0 +1,32 @@
+#include "llm/latency_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/stats.hpp"
+
+namespace reasched::llm {
+
+double LatencyModel::sample(int prompt_tokens, double heterogeneity, util::Rng& rng) const {
+  double latency = rng.lognormal(params_.base_log_mean, params_.base_log_sigma);
+  latency += static_cast<double>(prompt_tokens) / 1000.0 * params_.token_factor;
+  latency *= 1.0 + params_.complexity_gain * std::clamp(heterogeneity, 0.0, 1.0);
+  if (params_.tail_probability > 0.0 && rng.bernoulli(params_.tail_probability)) {
+    latency += rng.lognormal(params_.tail_log_mean, params_.tail_log_sigma);
+  }
+  return std::max(0.05, latency);
+}
+
+double queue_heterogeneity(const std::vector<double>& durations,
+                           const std::vector<double>& nodes) {
+  auto cv = [](const std::vector<double>& xs) {
+    const double m = util::mean(xs);
+    if (m <= 0.0) return 0.0;
+    return util::stddev(xs) / m;
+  };
+  // Coefficient of variation saturating at ~1.5 maps to [0, 1].
+  const double mix = 0.5 * (cv(durations) + cv(nodes));
+  return std::clamp(mix / 1.5, 0.0, 1.0);
+}
+
+}  // namespace reasched::llm

@@ -1,0 +1,51 @@
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace reasched::llm {
+
+/// Per-call latency distribution of one hosted reasoning model, calibrated
+/// to the paper's Figures 5-6:
+///
+///  - Claude 3.7: tightly clustered below 10 s, low variance, mild growth
+///    with prompt length -> near-linear total elapsed time in queue size.
+///  - O4-Mini ("reasoning effort: high"): higher base latency, strong
+///    prompt-token sensitivity and a heavy-tail mixture component, giving
+///    >100 s outliers in Heterogeneous Mix and super-linear total time.
+///
+/// latency = (lognormal(base) + tokens/1000 * token_factor)
+///             * (1 + complexity_gain * workload_heterogeneity)
+///           [+ lognormal(tail) with probability tail_probability]
+struct LatencyParams {
+  double base_log_mean = 1.2;   ///< ln(seconds)
+  double base_log_sigma = 0.3;
+  double token_factor = 0.3;    ///< seconds per 1k prompt tokens
+  double complexity_gain = 0.3; ///< multiplier at heterogeneity = 1
+  double tail_probability = 0.0;
+  double tail_log_mean = 3.5;
+  double tail_log_sigma = 0.5;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(LatencyParams params) : params_(params) {}
+
+  /// Sample one call latency. `heterogeneity` in [0, 1] measures how mixed
+  /// the waiting queue is (see queue_heterogeneity).
+  double sample(int prompt_tokens, double heterogeneity, util::Rng& rng) const;
+
+  const LatencyParams& params() const { return params_; }
+
+ private:
+  LatencyParams params_;
+};
+
+/// Normalized dispersion of the waiting queue's durations and widths:
+/// 0 for uniform queues (Homogeneous Short), ~1 for strongly mixed ones
+/// (Heterogeneous Mix). Drives the complexity term of the latency model -
+/// the paper attributes O4-Mini's latency spikes to "reasoning difficulty
+/// driven by workload diversity" (Section 3.7.1).
+double queue_heterogeneity(const std::vector<double>& durations,
+                           const std::vector<double>& nodes);
+
+}  // namespace reasched::llm

@@ -1,0 +1,7 @@
+#include "llm/message.hpp"
+
+namespace reasched::llm {
+
+void Client::reset() {}
+
+}  // namespace reasched::llm

@@ -1,0 +1,29 @@
+#include "llm/scripted_client.hpp"
+
+#include <stdexcept>
+
+#include "llm/token_counter.hpp"
+
+namespace reasched::llm {
+
+ScriptedClient::ScriptedClient(std::vector<std::string> responses, std::string model)
+    : responses_(std::move(responses)), model_(std::move(model)) {}
+
+Response ScriptedClient::complete(const Request& request) {
+  prompts_.push_back(request.prompt);
+  if (next_ >= responses_.size()) {
+    if (!repeat_last || responses_.empty()) {
+      throw std::runtime_error("ScriptedClient: response script exhausted");
+    }
+    next_ = responses_.size() - 1;
+  }
+  Response resp;
+  resp.text = responses_[next_++];
+  resp.model = model_;
+  resp.prompt_tokens = estimate_tokens(request.prompt);
+  resp.completion_tokens = estimate_tokens(resp.text);
+  resp.latency_seconds = 0.01;
+  return resp;
+}
+
+}  // namespace reasched::llm

@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "llm/message.hpp"
+
+namespace reasched::llm {
+
+/// Test double: replays a fixed sequence of response texts and records every
+/// prompt it was sent. Used by the agent unit tests to exercise parsing,
+/// feedback and scratchpad behaviour with exact, hand-written responses
+/// (including malformed ones).
+class ScriptedClient final : public Client {
+ public:
+  explicit ScriptedClient(std::vector<std::string> responses,
+                          std::string model = "scripted");
+
+  Response complete(const Request& request) override;
+  std::string model_name() const override { return model_; }
+  void reset() override { next_ = 0; prompts_.clear(); }
+
+  const std::vector<std::string>& prompts() const { return prompts_; }
+  std::size_t calls() const { return prompts_.size(); }
+  bool exhausted() const { return next_ >= responses_.size(); }
+
+  /// When true (default), an exhausted script repeats its last response
+  /// instead of throwing - convenient for agents that need a trailing
+  /// stream of "Stop".
+  bool repeat_last = true;
+
+ private:
+  std::vector<std::string> responses_;
+  std::string model_;
+  std::size_t next_ = 0;
+  std::vector<std::string> prompts_;
+};
+
+}  // namespace reasched::llm

@@ -1,0 +1,51 @@
+#include "llm/simulated_reasoner.hpp"
+
+#include <stdexcept>
+
+#include "llm/token_counter.hpp"
+
+namespace reasched::llm {
+
+SimulatedReasoner::SimulatedReasoner(ModelProfile profile, std::uint64_t seed)
+    : profile_(std::move(profile)),
+      seed_(seed),
+      rng_(util::derive_seed(seed, profile_.api_id)),
+      policy_(profile_.temperament) {}
+
+void SimulatedReasoner::reset() { rng_ = util::Rng(util::derive_seed(seed_, profile_.api_id)); }
+
+Response SimulatedReasoner::complete(const Request& request) {
+  if (request.context == nullptr || request.context->decision == nullptr) {
+    throw std::invalid_argument(
+        "SimulatedReasoner requires Request::context (the structured side channel; "
+        "a real HTTP client would parse Request::prompt instead)");
+  }
+  const sim::DecisionContext& ctx = *request.context->decision;
+
+  last_decision_ = policy_.decide(ctx, *request.context, rng_);
+  const std::string thought = thoughts_.render(last_decision_, ctx);
+  Response resp;
+  resp.text = "Thought: " + thought + "\nAction: " + last_decision_.action.to_string();
+  resp.model = profile_.api_id;
+  resp.prompt_tokens = estimate_tokens(request.prompt);
+
+  // Hidden chain-of-thought tokens count toward completion usage and grow
+  // with queue complexity (more trade-offs to weigh).
+  std::vector<double> durations, widths;
+  durations.reserve(ctx.waiting.size());
+  widths.reserve(ctx.waiting.size());
+  for (const auto& j : ctx.waiting) {
+    durations.push_back(j.walltime);
+    widths.push_back(static_cast<double>(j.nodes));
+  }
+  const double heterogeneity = queue_heterogeneity(durations, widths);
+  const int reasoning = static_cast<int>(
+      profile_.reasoning_tokens * (1.0 + heterogeneity + 0.01 * static_cast<double>(ctx.waiting.size())));
+  resp.completion_tokens = estimate_tokens(resp.text) + reasoning;
+
+  const LatencyModel latency(profile_.latency);
+  resp.latency_seconds = latency.sample(resp.prompt_tokens, heterogeneity, rng_);
+  return resp;
+}
+
+}  // namespace reasched::llm

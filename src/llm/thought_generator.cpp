@@ -1,0 +1,140 @@
+#include "llm/thought_generator.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_utils.hpp"
+
+namespace reasched::llm {
+
+namespace {
+
+std::string describe_candidate(const CandidateScore& c) {
+  return util::format("Job %d (%d Nodes, %.0f GB, walltime=%.0f, waited %.0fs, user_%d)", c.id,
+                      c.nodes, c.memory_gb, c.walltime, c.waited, c.user);
+}
+
+std::string dominant_terms(const CandidateScore& c) {
+  struct Term {
+    const char* label;
+    double value;
+  };
+  Term terms[] = {{"fairness", c.fairness},
+                  {"throughput", c.throughput},
+                  {"utilization", c.utilization},
+                  {"makespan", c.makespan}};
+  std::sort(std::begin(terms), std::end(terms),
+            [](const Term& a, const Term& b) { return a.value > b.value; });
+  return util::format("%s and %s", terms[0].label, terms[1].label);
+}
+
+void describe_state(std::ostringstream& os, const sim::DecisionContext& ctx) {
+  os << "I need to analyze the current system state and the job queue to make an optimal "
+        "scheduling decision.\n";
+  os << util::format("Current time: %.0f. Available resources: %d Nodes, %.0f GB memory. ",
+                     ctx.now, ctx.cluster.available_nodes(),
+                     ctx.cluster.available_memory_gb());
+  os << util::format("%zu job(s) running, %zu waiting, %zu completed.\n", ctx.running.size(),
+                     ctx.waiting.size(), ctx.completed.size());
+}
+
+}  // namespace
+
+std::string ThoughtGenerator::render(const PolicyDecision& d,
+                                     const sim::DecisionContext& ctx) const {
+  std::ostringstream os;
+
+  switch (d.kind) {
+    case PolicyDecision::Kind::kStopDone:
+      describe_state(os, ctx);
+      os << "Looking at the waiting jobs queue, there are no eligible jobs waiting to be "
+            "scheduled, and no more arrivals are pending. Reviewing the decision history, all "
+            "jobs have been scheduled already.";
+      if (!ctx.running.empty()) {
+        os << util::format(
+            " %zu job(s) are still running and will complete on their own (next at t=%.0f).",
+            ctx.running.size(), ctx.running.front().end_time);
+      }
+      os << "\nSince every job has been assigned a start time, the appropriate action is to "
+            "stop the scheduling process.";
+      break;
+
+    case PolicyDecision::Kind::kDelayIdle:
+      describe_state(os, ctx);
+      os << "The waiting queue is currently empty but more jobs will arrive. There is nothing "
+            "to schedule at this moment, so I should wait for the next event.";
+      break;
+
+    case PolicyDecision::Kind::kDelayNoFit:
+      describe_state(os, ctx);
+      os << "All eligible jobs currently require more Nodes or memory than is available.";
+      if (d.next_release_time >= 0.0) {
+        os << util::format(
+            " The next likely completion is at t=%.0f, which will release resources.",
+            d.next_release_time);
+      }
+      os << "\nSince I cannot start any new jobs now due to resource constraints, I should "
+            "wait until a running job completes.";
+      break;
+
+    case PolicyDecision::Kind::kDelayReserve:
+      describe_state(os, ctx);
+      os << util::format(
+          "Job %d has been waiting the longest but does not fit right now. Starting another "
+          "job would push its expected start (around t=%.0f) even further back, hurting "
+          "fairness more than the small throughput gain is worth.\n",
+          d.blocked_head, d.shadow_time);
+      os << "To keep wait-time variance low I will hold the remaining resources for it.";
+      break;
+
+    case PolicyDecision::Kind::kHallucinated: {
+      describe_state(os, ctx);
+      if (!d.scored.empty()) {
+        const auto& c = d.scored.front();
+        os << "I identified several jobs that could maximize utilization and fairness. "
+              "Among them:\n  "
+           << describe_candidate(c)
+           << util::format("\n  Expected to improve %s.\nDecision: attempt to schedule Job %d "
+                           "to achieve optimal balance.",
+                           dominant_terms(c).c_str(), c.id);
+      }
+      break;
+    }
+
+    case PolicyDecision::Kind::kBackfill:
+    case PolicyDecision::Kind::kStartBest: {
+      describe_state(os, ctx);
+      const bool all_same_submit =
+          std::all_of(ctx.waiting.begin(), ctx.waiting.end(), [&](const sim::Job& j) {
+            return j.submit_time == ctx.waiting.front().submit_time;
+          });
+      if (all_same_submit && ctx.now == ctx.waiting.front().submit_time) {
+        os << "All queued jobs were submitted at the same time, so no one has been waiting "
+              "longer than another; fairness is not the deciding factor for this step.\n";
+      }
+      if (d.kind == PolicyDecision::Kind::kBackfill) {
+        os << util::format(
+            "Job %d is at the head of the queue but requires more resources than are free "
+            "(it could start around t=%.0f once running jobs finish). Rather than leave the "
+            "system idle, I can opportunistically run a smaller job ahead of it.\n",
+            d.blocked_head, d.shadow_time);
+      }
+      if (!d.scored.empty()) {
+        os << "Evaluating the trade-offs across the waiting queue, the strongest candidate "
+              "is:\n  "
+           << describe_candidate(d.scored.front()) << "\n";
+        if (d.scored.size() > 1) {
+          os << "  Runner-up: " << describe_candidate(d.scored[1]) << "\n";
+        }
+        os << util::format(
+            "This choice is driven mainly by %s: it keeps the system busy, finishes in "
+            "reasonable time, and leaves headroom for packing other jobs concurrently.",
+            dominant_terms(d.scored.front()).c_str());
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace reasched::llm

@@ -1,0 +1,18 @@
+#pragma once
+
+#include <string>
+
+#include "llm/decision_policy.hpp"
+
+namespace reasched::llm {
+
+/// Renders natural-language Thought text from a policy decision, in the
+/// style of the paper's Figure 2 traces. The narration is generated from
+/// the actual score decomposition, so every stated reason corresponds to a
+/// term that genuinely influenced the choice.
+class ThoughtGenerator {
+ public:
+  std::string render(const PolicyDecision& decision, const sim::DecisionContext& ctx) const;
+};
+
+}  // namespace reasched::llm

@@ -1,0 +1,10 @@
+#include "llm/token_counter.hpp"
+
+namespace reasched::llm {
+
+int estimate_tokens(std::string_view text) {
+  if (text.empty()) return 0;
+  return static_cast<int>((text.size() + 3) / 4);
+}
+
+}  // namespace reasched::llm

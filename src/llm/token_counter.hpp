@@ -1,0 +1,13 @@
+#pragma once
+
+#include <string_view>
+
+namespace reasched::llm {
+
+/// Offline token estimate: ~4 characters per token, the standard rule of
+/// thumb for English + structured text. Exact tokenization is unnecessary -
+/// token counts only feed the latency model and context-budget truncation,
+/// both of which need magnitude, not exactness.
+int estimate_tokens(std::string_view text);
+
+}  // namespace reasched::llm

@@ -1,0 +1,57 @@
+#include "llm/transcript.hpp"
+
+#include <stdexcept>
+
+namespace reasched::llm {
+
+std::size_t Transcript::n_successful() const {
+  std::size_t n = 0;
+  for (const auto& c : calls_) {
+    if (c.accepted && (c.action == sim::ActionType::kStartJob ||
+                       c.action == sim::ActionType::kBackfillJob)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+double Transcript::total_elapsed_successful() const {
+  double total = 0.0;
+  for (const auto& c : calls_) {
+    if (c.accepted && (c.action == sim::ActionType::kStartJob ||
+                       c.action == sim::ActionType::kBackfillJob)) {
+      total += c.latency_seconds;
+    }
+  }
+  return total;
+}
+
+std::vector<double> Transcript::successful_latencies() const {
+  std::vector<double> out;
+  for (const auto& c : calls_) {
+    if (c.accepted && (c.action == sim::ActionType::kStartJob ||
+                       c.action == sim::ActionType::kBackfillJob)) {
+      out.push_back(c.latency_seconds);
+    }
+  }
+  return out;
+}
+
+long long Transcript::total_prompt_tokens() const {
+  long long total = 0;
+  for (const auto& c : calls_) total += c.prompt_tokens;
+  return total;
+}
+
+long long Transcript::total_completion_tokens() const {
+  long long total = 0;
+  for (const auto& c : calls_) total += c.completion_tokens;
+  return total;
+}
+
+void Transcript::set_last_verdict(bool accepted) {
+  if (calls_.empty()) throw std::logic_error("Transcript::set_last_verdict: no calls");
+  calls_.back().accepted = accepted;
+}
+
+}  // namespace reasched::llm

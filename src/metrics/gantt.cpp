@@ -1,0 +1,107 @@
+#include "metrics/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "util/string_utils.hpp"
+
+namespace reasched::metrics {
+
+namespace {
+struct Horizon {
+  double t0 = 0.0;
+  double t1 = 0.0;
+  bool ok = false;
+};
+
+Horizon schedule_horizon(const sim::ScheduleResult& result) {
+  Horizon h;
+  if (result.completed.empty()) return h;
+  h.t0 = result.completed.front().job.submit_time;
+  for (const auto& c : result.completed) {
+    h.t0 = std::min(h.t0, c.job.submit_time);
+    h.t1 = std::max(h.t1, c.end_time);
+  }
+  h.ok = h.t1 > h.t0;
+  return h;
+}
+
+std::size_t bucket_of(double t, const Horizon& h, std::size_t width) {
+  const double frac = (t - h.t0) / (h.t1 - h.t0);
+  const auto b = static_cast<std::ptrdiff_t>(frac * static_cast<double>(width));
+  return static_cast<std::size_t>(std::clamp<std::ptrdiff_t>(
+      b, 0, static_cast<std::ptrdiff_t>(width) - 1));
+}
+}  // namespace
+
+std::string render_utilization_profile(const sim::ScheduleResult& result,
+                                       const sim::ClusterSpec& spec, std::size_t width) {
+  const Horizon h = schedule_horizon(result);
+  if (!h.ok || width == 0) return "(empty schedule)\n";
+  std::vector<double> node_seconds(width, 0.0);
+  const double bucket_span = (h.t1 - h.t0) / static_cast<double>(width);
+  for (const auto& c : result.completed) {
+    for (std::size_t b = bucket_of(c.start_time, h, width);
+         b <= bucket_of(c.end_time - 1e-9, h, width); ++b) {
+      const double bucket_start = h.t0 + static_cast<double>(b) * bucket_span;
+      const double overlap = std::max(
+          0.0, std::min(c.end_time, bucket_start + bucket_span) - std::max(c.start_time,
+                                                                           bucket_start));
+      node_seconds[b] += overlap * c.job.nodes;
+    }
+  }
+  std::string line;
+  line.reserve(width);
+  for (const double ns : node_seconds) {
+    const double util = ns / (bucket_span * spec.total_nodes);
+    const int level = std::clamp(static_cast<int>(std::floor(util * 10.0)), 0, 9);
+    line += static_cast<char>('0' + level);
+  }
+  return line;
+}
+
+std::string render_gantt(const sim::ScheduleResult& result, const sim::ClusterSpec& spec,
+                         const GanttOptions& options) {
+  const Horizon h = schedule_horizon(result);
+  if (!h.ok || options.width == 0) return "(empty schedule)\n";
+
+  // Rows sorted by start time; if over the cap, keep the widest jobs.
+  std::vector<const sim::CompletedJob*> rows;
+  rows.reserve(result.completed.size());
+  for (const auto& c : result.completed) rows.push_back(&c);
+  std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+    if (a->start_time != b->start_time) return a->start_time < b->start_time;
+    return a->job.id < b->job.id;
+  });
+  if (rows.size() > options.max_rows) {
+    std::nth_element(rows.begin(), rows.begin() + static_cast<std::ptrdiff_t>(options.max_rows),
+                     rows.end(), [](const auto* a, const auto* b) {
+                       return a->job.node_seconds() > b->job.node_seconds();
+                     });
+    rows.resize(options.max_rows);
+    std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
+      return a->start_time < b->start_time;
+    });
+  }
+
+  std::ostringstream os;
+  os << util::format("Gantt: %zu job(s), t=[%.0f, %.0f]s, %d nodes\n",
+                     result.completed.size(), h.t0, h.t1, spec.total_nodes);
+  for (const auto* c : rows) {
+    std::string bar(options.width, ' ');
+    const std::size_t qs = bucket_of(c->job.submit_time, h, options.width);
+    const std::size_t s = bucket_of(c->start_time, h, options.width);
+    const std::size_t e = bucket_of(std::max(c->end_time - 1e-9, c->start_time), h,
+                                    options.width);
+    for (std::size_t b = qs; b < s; ++b) bar[b] = options.queue;
+    for (std::size_t b = s; b <= e; ++b) bar[b] = options.bar;
+    os << util::format("J%-4d %3dn |%s|\n", c->job.id, c->job.nodes, bar.c_str());
+  }
+  os << util::format("util (0-9)  |%s|\n",
+                     render_utilization_profile(result, spec, options.width).c_str());
+  return os.str();
+}
+
+}  // namespace reasched::metrics

@@ -1,0 +1,23 @@
+#include "metrics/normalize.hpp"
+
+#include <cmath>
+
+namespace reasched::metrics {
+
+Normalized normalize_value(double method_value, double baseline_value) {
+  Normalized n;
+  if (std::fabs(baseline_value) < 1e-12) {
+    // 0/0 (and x/0) are undefined; the paper omits these comparisons.
+    n.defined = false;
+    n.value = 0.0;
+    return n;
+  }
+  n.value = method_value / baseline_value;
+  return n;
+}
+
+Normalized normalize(const MetricSet& method, const MetricSet& baseline, Metric metric) {
+  return normalize_value(method.get(metric), baseline.get(metric));
+}
+
+}  // namespace reasched::metrics

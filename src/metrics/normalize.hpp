@@ -1,0 +1,23 @@
+#pragma once
+
+#include <optional>
+
+#include "metrics/metrics.hpp"
+
+namespace reasched::metrics {
+
+/// Value of one metric normalized against the FCFS baseline (= 1.0), as in
+/// every results figure. Undefined when the ratio is 0/0 - the paper
+/// explicitly omits such rows ("the resulting value becomes undefined (0/0)
+/// and is therefore omitted", Section 3.5).
+struct Normalized {
+  double value = 1.0;
+  bool defined = true;
+};
+
+Normalized normalize_value(double method_value, double baseline_value);
+
+/// Normalize a whole metric set against a baseline set.
+Normalized normalize(const MetricSet& method, const MetricSet& baseline, Metric metric);
+
+}  // namespace reasched::metrics

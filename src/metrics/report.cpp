@@ -1,0 +1,62 @@
+#include "metrics/report.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/string_utils.hpp"
+
+namespace reasched::metrics {
+
+namespace {
+const MetricSet& find_baseline(const std::vector<MethodResult>& results,
+                               const std::string& baseline_method) {
+  const auto it = std::find_if(results.begin(), results.end(), [&](const MethodResult& r) {
+    return r.method == baseline_method;
+  });
+  if (it == results.end()) {
+    throw std::invalid_argument("render_normalized_table: baseline method '" + baseline_method +
+                                "' not among results");
+  }
+  return it->metrics;
+}
+}  // namespace
+
+std::string render_normalized_table(const std::vector<MethodResult>& results,
+                                    const std::string& baseline_method, bool raw) {
+  const MetricSet& baseline = find_baseline(results, baseline_method);
+
+  std::vector<std::string> header = {"Metric", "Better"};
+  for (const auto& r : results) header.push_back(r.method);
+  util::TextTable table(std::move(header));
+
+  for (const Metric m : all_metrics()) {
+    std::vector<std::string> row = {to_string(m), lower_is_better(m) ? "lower" : "higher"};
+    for (const auto& r : results) {
+      if (raw) {
+        row.push_back(util::TextTable::num(r.metrics.get(m), 3));
+        continue;
+      }
+      const Normalized n = normalize(r.metrics, baseline, m);
+      row.push_back(n.defined ? util::TextTable::num(n.value, 3) : util::TextTable::na());
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+util::CsvTable normalized_csv(const std::vector<MethodResult>& results,
+                              const std::string& baseline_method) {
+  const MetricSet& baseline = find_baseline(results, baseline_method);
+  util::CsvTable csv(
+      {"method", "metric", "value", "normalized_vs_fcfs", "normalized_defined"});
+  for (const auto& r : results) {
+    for (const Metric m : all_metrics()) {
+      const Normalized n = normalize(r.metrics, baseline, m);
+      csv.add_row({r.method, to_string(m), util::format("%.6f", r.metrics.get(m)),
+                   util::format("%.6f", n.value), n.defined ? "1" : "0"});
+    }
+  }
+  return csv;
+}
+
+}  // namespace reasched::metrics

@@ -1,0 +1,30 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/metrics.hpp"
+#include "metrics/normalize.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace reasched::metrics {
+
+/// One (method -> metric set) row group for a figure.
+struct MethodResult {
+  std::string method;
+  MetricSet metrics;
+};
+
+/// Render the paper-style normalized table: one row per metric, one column
+/// per method, values as ratios against `baseline_method` (which must be
+/// present). Undefined (0/0) cells print "n/a" exactly as the paper omits
+/// them. Raw = true prints absolute values instead of ratios.
+std::string render_normalized_table(const std::vector<MethodResult>& results,
+                                    const std::string& baseline_method, bool raw = false);
+
+/// CSV export of the same data (one row per method x metric).
+util::CsvTable normalized_csv(const std::vector<MethodResult>& results,
+                              const std::string& baseline_method);
+
+}  // namespace reasched::metrics

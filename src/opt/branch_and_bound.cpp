@@ -1,0 +1,148 @@
+#include "opt/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "opt/list_scheduler.hpp"
+
+namespace reasched::opt {
+
+namespace {
+
+struct Search {
+  const Problem& problem;
+  const ObjectiveWeights& weights;
+  const BnbConfig& config;
+  BnbResult result;
+  std::vector<std::size_t> prefix;
+  std::vector<bool> used;
+  bool budget_exhausted = false;
+
+  /// Admissible lower bound on the best completion achievable from this
+  /// prefix: max of (a) the prefix plan's own score contribution, (b) the
+  /// node/memory area bounds for the remaining jobs, (c) the critical-path
+  /// bound (some remaining job still has to run to completion).
+  double lower_bound(const PlannedSchedule& prefix_plan) const {
+    double remaining_node_area = 0.0;
+    double remaining_mem_area = 0.0;
+    double critical_path = 0.0;
+    for (std::size_t i = 0; i < problem.jobs.size(); ++i) {
+      if (used[i]) continue;
+      const sim::Job& j = problem.jobs[i];
+      remaining_node_area += static_cast<double>(j.nodes) * j.duration;
+      remaining_mem_area += j.memory_gb * j.duration;
+      critical_path =
+          std::max(critical_path, std::max(problem.now, j.submit_time) + j.duration);
+    }
+    double lb_makespan = prefix_plan.makespan;
+    lb_makespan = std::max(lb_makespan,
+                           problem.now + remaining_node_area /
+                                             static_cast<double>(problem.total_nodes));
+    if (problem.total_memory_gb > 0.0) {
+      lb_makespan =
+          std::max(lb_makespan, problem.now + remaining_mem_area / problem.total_memory_gb);
+    }
+    lb_makespan = std::max(lb_makespan, critical_path);
+    // Completion-time term: each remaining job completes no earlier than
+    // release + duration.
+    double lb_completion = prefix_plan.total_completion;
+    for (std::size_t i = 0; i < problem.jobs.size(); ++i) {
+      if (used[i]) continue;
+      const sim::Job& j = problem.jobs[i];
+      lb_completion += std::max(problem.now, j.submit_time) + j.duration;
+    }
+    return weights.makespan_weight * lb_makespan + weights.completion_weight * lb_completion;
+  }
+
+  void dfs() {
+    if (result.explored >= config.max_nodes) {
+      budget_exhausted = true;
+      return;
+    }
+    ++result.explored;
+
+    if (prefix.size() == problem.jobs.size()) {
+      const double score = evaluate(decode_order(problem, prefix), weights);
+      if (score < result.score) {
+        result.score = score;
+        result.order = prefix;
+      }
+      return;
+    }
+
+    const PlannedSchedule prefix_plan = decode_prefix();
+    if (lower_bound(prefix_plan) >= result.score - 1e-12) return;  // prune
+
+    // Branch in SPT order so good incumbents are found early.
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < problem.jobs.size(); ++i) {
+      if (!used[i]) candidates.push_back(i);
+    }
+    std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
+      if (problem.jobs[a].walltime != problem.jobs[b].walltime) {
+        return problem.jobs[a].walltime < problem.jobs[b].walltime;
+      }
+      return a < b;
+    });
+    // Dominance: identical remaining jobs are interchangeable; branch only
+    // on the first of each equivalence class.
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      const std::size_t i = candidates[c];
+      bool dominated = false;
+      for (std::size_t d = 0; d < c; ++d) {
+        const sim::Job& a = problem.jobs[i];
+        const sim::Job& b = problem.jobs[candidates[d]];
+        if (a.duration == b.duration && a.nodes == b.nodes && a.memory_gb == b.memory_gb &&
+            a.submit_time == b.submit_time) {
+          dominated = true;
+          break;
+        }
+      }
+      if (dominated) continue;
+      used[i] = true;
+      prefix.push_back(i);
+      dfs();
+      prefix.pop_back();
+      used[i] = false;
+      if (budget_exhausted) return;
+    }
+  }
+
+  PlannedSchedule decode_prefix() const {
+    // Decode only the placed prefix; remaining jobs contribute via bounds.
+    Problem sub = problem;
+    sub.jobs.clear();
+    std::vector<std::size_t> sub_order;
+    for (std::size_t k = 0; k < prefix.size(); ++k) {
+      sub.jobs.push_back(problem.jobs[prefix[k]]);
+      sub_order.push_back(k);
+    }
+    return decode_order(sub, sub_order);
+  }
+};
+
+}  // namespace
+
+BnbResult branch_and_bound(const Problem& problem, const ObjectiveWeights& weights,
+                           const BnbConfig& config) {
+  Search search{problem, weights, config, {}, {}, {}, false};
+  search.used.assign(problem.jobs.size(), false);
+
+  // Incumbent: best of the standard seed orderings.
+  BnbResult& result = search.result;
+  result.order = order_spt(problem);
+  result.score = evaluate(decode_order(problem, result.order), weights);
+  for (const auto& seed : {order_by_arrival(problem), order_lpt(problem), order_widest(problem)}) {
+    const double s = evaluate(decode_order(problem, seed), weights);
+    if (s < result.score) {
+      result.score = s;
+      result.order = seed;
+    }
+  }
+
+  search.dfs();
+  result.proven_optimal = !search.budget_exhausted;
+  return result;
+}
+
+}  // namespace reasched::opt

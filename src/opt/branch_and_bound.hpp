@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "opt/model.hpp"
+#include "opt/objective.hpp"
+
+namespace reasched::opt {
+
+struct BnbConfig {
+  /// Hard cap on explored nodes; on expiry the incumbent is returned with
+  /// proven_optimal = false.
+  std::size_t max_nodes = 250000;
+};
+
+struct BnbResult {
+  std::vector<std::size_t> order;
+  double score = 0.0;
+  std::size_t explored = 0;
+  bool proven_optimal = false;
+};
+
+/// Exact branch-and-bound over job permutations (depth-first, prefix
+/// decoding, area + critical-path lower bounds, identical-job dominance).
+/// Optimal within the list-schedule space - tests verify it matches
+/// exhaustive enumeration on small instances. Practical up to ~10-12 jobs,
+/// which covers the paper's smallest queue sizes; the optimizing scheduler
+/// falls back to SA beyond that.
+BnbResult branch_and_bound(const Problem& problem, const ObjectiveWeights& weights,
+                           const BnbConfig& config = {});
+
+}  // namespace reasched::opt

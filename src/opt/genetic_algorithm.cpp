@@ -1,0 +1,115 @@
+#include "opt/genetic_algorithm.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "opt/list_scheduler.hpp"
+
+namespace reasched::opt {
+
+std::vector<std::size_t> order_crossover(const std::vector<std::size_t>& a,
+                                         const std::vector<std::size_t>& b,
+                                         util::Rng& rng) {
+  const std::size_t n = a.size();
+  if (n < 2) return a;
+  auto lo = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  auto hi = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  if (lo > hi) std::swap(lo, hi);
+
+  std::vector<std::size_t> child(n, std::numeric_limits<std::size_t>::max());
+  std::vector<bool> used(n, false);
+  for (std::size_t i = lo; i <= hi; ++i) {
+    child[i] = a[i];
+    used[a[i]] = true;
+  }
+  std::size_t fill = (hi + 1) % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t gene = b[(hi + 1 + k) % n];
+    if (used[gene]) continue;
+    child[fill] = gene;
+    used[gene] = true;
+    fill = (fill + 1) % n;
+  }
+  return child;
+}
+
+GaResult genetic_algorithm(const Problem& problem, std::vector<std::size_t> seed_order,
+                           const ObjectiveWeights& weights, const GaConfig& config,
+                           util::Rng& rng) {
+  GaResult best;
+  const std::size_t n = seed_order.size();
+  best.order = seed_order;
+  best.score = evaluate(decode_order(problem, best.order), weights);
+  best.evaluations = 1;
+  if (n < 2 || config.population < 2) return best;
+
+  struct Individual {
+    std::vector<std::size_t> order;
+    double score;
+  };
+
+  auto scored = [&](std::vector<std::size_t> order) {
+    const double s = evaluate(decode_order(problem, order), weights);
+    ++best.evaluations;
+    return Individual{std::move(order), s};
+  };
+
+  // Initial population: the seed plus shuffles of it.
+  std::vector<Individual> population;
+  population.reserve(config.population);
+  population.push_back(scored(seed_order));
+  while (population.size() < config.population) {
+    auto order = seed_order;
+    rng.shuffle(order);
+    population.push_back(scored(std::move(order)));
+  }
+
+  auto tournament_pick = [&]() -> const Individual& {
+    const Individual* winner = nullptr;
+    for (std::size_t i = 0; i < config.tournament; ++i) {
+      const auto& cand = population[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(population.size()) - 1))];
+      if (winner == nullptr || cand.score < winner->score) winner = &cand;
+    }
+    return *winner;
+  };
+
+  for (std::size_t gen = 0; gen < config.generations; ++gen) {
+    std::sort(population.begin(), population.end(),
+              [](const Individual& x, const Individual& y) { return x.score < y.score; });
+    if (population.front().score < best.score) {
+      best.score = population.front().score;
+      best.order = population.front().order;
+    }
+    std::vector<Individual> next;
+    next.reserve(config.population);
+    for (std::size_t e = 0; e < std::min(config.elites, population.size()); ++e) {
+      next.push_back(population[e]);
+    }
+    while (next.size() < config.population) {
+      const Individual& pa = tournament_pick();
+      const Individual& pb = tournament_pick();
+      std::vector<std::size_t> child =
+          rng.bernoulli(config.crossover_rate) ? order_crossover(pa.order, pb.order, rng)
+                                               : pa.order;
+      if (rng.bernoulli(config.mutation_rate)) {
+        const auto i =
+            static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const auto j =
+            static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        std::swap(child[i], child[j]);
+      }
+      next.push_back(scored(std::move(child)));
+    }
+    population = std::move(next);
+  }
+  for (const auto& ind : population) {
+    if (ind.score < best.score) {
+      best.score = ind.score;
+      best.order = ind.order;
+    }
+  }
+  return best;
+}
+
+}  // namespace reasched::opt

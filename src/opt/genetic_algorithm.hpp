@@ -1,0 +1,41 @@
+#pragma once
+
+#include <vector>
+
+#include "opt/model.hpp"
+#include "opt/objective.hpp"
+#include "util/rng.hpp"
+
+namespace reasched::opt {
+
+/// Permutation genetic algorithm (the paper's related work cites GA -
+/// Mirjalili 2019 - as a classical metaheuristic for HPC scheduling).
+/// Tournament selection, order crossover (OX1), swap mutation, elitism,
+/// all over the same list-schedule decoder as SA and B&B so solver quality
+/// is directly comparable (bench/ablation_solvers).
+struct GaConfig {
+  std::size_t population = 40;
+  std::size_t generations = 60;
+  std::size_t tournament = 3;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.25;
+  std::size_t elites = 2;
+};
+
+struct GaResult {
+  std::vector<std::size_t> order;
+  double score = 0.0;
+  std::size_t evaluations = 0;
+};
+
+GaResult genetic_algorithm(const Problem& problem, std::vector<std::size_t> seed_order,
+                           const ObjectiveWeights& weights, const GaConfig& config,
+                           util::Rng& rng);
+
+/// Order crossover (OX1): copy a random slice from parent A, fill the rest
+/// in parent B's relative order. Exposed for unit testing.
+std::vector<std::size_t> order_crossover(const std::vector<std::size_t>& a,
+                                         const std::vector<std::size_t>& b,
+                                         util::Rng& rng);
+
+}  // namespace reasched::opt

@@ -1,0 +1,112 @@
+#include "opt/list_scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace reasched::opt {
+
+PlannedSchedule decode_order(const Problem& problem, const std::vector<std::size_t>& order) {
+  if (order.size() != problem.jobs.size()) {
+    throw std::invalid_argument("decode_order: order size mismatch");
+  }
+  PlannedSchedule plan;
+  plan.order.reserve(order.size());
+
+  struct Release {
+    double time;
+    int nodes;
+    double memory_gb;
+  };
+  struct Later {
+    bool operator()(const Release& a, const Release& b) const { return a.time > b.time; }
+  };
+  std::priority_queue<Release, std::vector<Release>, Later> releases;
+
+  int free_nodes = problem.total_nodes;
+  double free_memory = problem.total_memory_gb;
+  for (const auto& pin : problem.pinned) {
+    free_nodes -= pin.nodes;
+    free_memory -= pin.memory_gb;
+    releases.push({pin.end_time, pin.nodes, pin.memory_gb});
+  }
+
+  double clock = problem.now;
+  for (const std::size_t idx : order) {
+    const sim::Job& job = problem.jobs.at(idx);
+    clock = std::max(clock, std::max(problem.now, job.submit_time));
+    // Advance until the job fits; each release strictly increases free
+    // resources, so this terminates (validated capacities guarantee fit on
+    // the empty cluster).
+    while (free_nodes < job.nodes || free_memory + 1e-9 < job.memory_gb) {
+      if (releases.empty()) {
+        throw std::logic_error("decode_order: job never fits (capacity violation upstream)");
+      }
+      const Release r = releases.top();
+      releases.pop();
+      clock = std::max(clock, r.time);
+      free_nodes += r.nodes;
+      free_memory += r.memory_gb;
+      // Drain co-timed releases so `fits` sees the full freed capacity.
+      while (!releases.empty() && releases.top().time <= clock) {
+        free_nodes += releases.top().nodes;
+        free_memory += releases.top().memory_gb;
+        releases.pop();
+      }
+    }
+    const double start = clock;
+    const double end = start + job.duration;
+    free_nodes -= job.nodes;
+    free_memory -= job.memory_gb;
+    releases.push({end, job.nodes, job.memory_gb});
+
+    plan.start_times[job.id] = start;
+    plan.order.push_back(job.id);
+    plan.makespan = std::max(plan.makespan, end);
+    plan.total_completion += end;
+    plan.total_wait += start - std::max(problem.now, job.submit_time);
+  }
+  return plan;
+}
+
+namespace {
+std::vector<std::size_t> sorted_order(const Problem& p,
+                                      bool (*less)(const sim::Job&, const sim::Job&)) {
+  std::vector<std::size_t> order(p.jobs.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return less(p.jobs[a], p.jobs[b]);
+  });
+  return order;
+}
+}  // namespace
+
+std::vector<std::size_t> order_by_arrival(const Problem& problem) {
+  return sorted_order(problem, [](const sim::Job& a, const sim::Job& b) {
+    return sim::arrival_order(a, b);
+  });
+}
+
+std::vector<std::size_t> order_spt(const Problem& problem) {
+  return sorted_order(problem, [](const sim::Job& a, const sim::Job& b) {
+    if (a.walltime != b.walltime) return a.walltime < b.walltime;
+    return a.id < b.id;
+  });
+}
+
+std::vector<std::size_t> order_lpt(const Problem& problem) {
+  return sorted_order(problem, [](const sim::Job& a, const sim::Job& b) {
+    if (a.walltime != b.walltime) return a.walltime > b.walltime;
+    return a.id < b.id;
+  });
+}
+
+std::vector<std::size_t> order_widest(const Problem& problem) {
+  return sorted_order(problem, [](const sim::Job& a, const sim::Job& b) {
+    if (a.nodes != b.nodes) return a.nodes > b.nodes;
+    return a.id < b.id;
+  });
+}
+
+}  // namespace reasched::opt

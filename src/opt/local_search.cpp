@@ -1,0 +1,51 @@
+#include "opt/local_search.hpp"
+
+#include "opt/list_scheduler.hpp"
+
+namespace reasched::opt {
+
+LocalSearchResult local_search(const Problem& problem, std::vector<std::size_t> order,
+                               const ObjectiveWeights& weights, std::size_t max_evaluations) {
+  LocalSearchResult result;
+  result.order = std::move(order);
+  result.score = evaluate(decode_order(problem, result.order), weights);
+  result.evaluations = 1;
+
+  const std::size_t n = result.order.size();
+  if (n < 2) return result;
+
+  bool improved = true;
+  while (improved && result.evaluations < max_evaluations) {
+    improved = false;
+    // Adjacent swaps: the cheapest moves, scanned first.
+    for (std::size_t i = 0; i + 1 < n && result.evaluations < max_evaluations; ++i) {
+      std::swap(result.order[i], result.order[i + 1]);
+      const double score = evaluate(decode_order(problem, result.order), weights);
+      ++result.evaluations;
+      if (score + 1e-12 < result.score) {
+        result.score = score;
+        improved = true;
+      } else {
+        std::swap(result.order[i], result.order[i + 1]);
+      }
+    }
+    // Head-insertions: move a job to the front (breaks convoys fast).
+    for (std::size_t i = 1; i < n && result.evaluations < max_evaluations; ++i) {
+      const std::size_t v = result.order[i];
+      result.order.erase(result.order.begin() + static_cast<std::ptrdiff_t>(i));
+      result.order.insert(result.order.begin(), v);
+      const double score = evaluate(decode_order(problem, result.order), weights);
+      ++result.evaluations;
+      if (score + 1e-12 < result.score) {
+        result.score = score;
+        improved = true;
+      } else {
+        result.order.erase(result.order.begin());
+        result.order.insert(result.order.begin() + static_cast<std::ptrdiff_t>(i), v);
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace reasched::opt

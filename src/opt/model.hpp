@@ -1,0 +1,43 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/job.hpp"
+#include "sim/scheduler.hpp"
+
+namespace reasched::opt {
+
+/// Offline scheduling problem snapshot handed to the solvers: the waiting
+/// jobs, the cluster capacities, the current time, and the resources pinned
+/// by already-running jobs (which release at known end times).
+struct Problem {
+  double now = 0.0;
+  int total_nodes = 0;
+  double total_memory_gb = 0.0;
+  std::vector<sim::Job> jobs;
+  /// (end_time, nodes, memory) triples of running allocations.
+  struct Pinned {
+    double end_time;
+    int nodes;
+    double memory_gb;
+  };
+  std::vector<Pinned> pinned;
+
+  static Problem from_context(const sim::DecisionContext& ctx);
+};
+
+/// Solver output: a start time per job id plus the realized makespan and
+/// the permutation that produced it.
+struct PlannedSchedule {
+  std::map<sim::JobId, double> start_times;
+  std::vector<sim::JobId> order;
+  double makespan = 0.0;          ///< completion of the last planned job
+  double total_completion = 0.0;  ///< sum of completion times (tie-break term)
+  double total_wait = 0.0;        ///< sum of (start - release)
+
+  bool contains(sim::JobId id) const { return start_times.count(id) != 0; }
+};
+
+}  // namespace reasched::opt

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "opt/model.hpp"
+
+namespace reasched::opt {
+
+/// Scalarized objective for the optimization baseline. The default mirrors
+/// the paper's OR-Tools configuration: *pure makespan*. Because no term
+/// penalizes completion times or wait variance, the search freely reorders
+/// and postpones individual jobs whenever that helps packing - which is
+/// exactly the paper's observed OR-Tools signature: top utilization and
+/// throughput, degraded wait/turnaround and fairness at scale.
+///
+/// `completion_weight` / `wait_weight` > 0 are ablation knobs
+/// (bench/ablation_policy_weights) showing how adding completion-time or
+/// fairness terms trades utilization away.
+struct ObjectiveWeights {
+  double makespan_weight = 1.0;
+  double completion_weight = 0.0;
+  double wait_weight = 0.0;
+};
+
+double evaluate(const PlannedSchedule& plan, const ObjectiveWeights& weights);
+
+}  // namespace reasched::opt

@@ -1,0 +1,137 @@
+#include "opt/optimizing_scheduler.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "opt/list_scheduler.hpp"
+#include "opt/local_search.hpp"
+#include "util/string_utils.hpp"
+
+namespace reasched::opt {
+
+OptimizingScheduler::OptimizingScheduler(OptimizingSchedulerConfig config)
+    : config_(config), rng_(config.seed) {}
+
+void OptimizingScheduler::reset() {
+  rng_ = util::Rng(config_.seed);
+  priority_.clear();
+  insertions_since_reopt_ = 0;
+  replans_ = 0;
+  last_thought_.clear();
+}
+
+void OptimizingScheduler::full_replan(const Problem& problem) {
+  ++replans_;
+  if (problem.jobs.size() <= config_.bnb_threshold) {
+    const BnbResult exact = branch_and_bound(problem, config_.weights);
+    priority_.clear();
+    for (const std::size_t idx : exact.order) priority_.push_back(problem.jobs[idx].id);
+    last_thought_ = util::format("replan: branch-and-bound over %zu jobs (%zu nodes, %s)",
+                                 problem.jobs.size(), exact.explored,
+                                 exact.proven_optimal ? "proven optimal" : "budget-capped");
+    return;
+  }
+  // Portfolio: best seed -> local search -> SA -> final polish. A seeded
+  // random restart joins the deterministic seeds; it is what makes repeated
+  // runs explore different (equally good on makespan, different on
+  // wait-fairness) plans - the run-to-run variance Figure 7 observes for
+  // OR-Tools.
+  std::vector<std::size_t> shuffled = order_by_arrival(problem);
+  rng_.shuffle(shuffled);
+  std::vector<std::size_t> best = order_spt(problem);
+  double best_score = evaluate(decode_order(problem, best), config_.weights);
+  for (const auto& seed : {order_by_arrival(problem), order_lpt(problem),
+                           order_widest(problem), shuffled}) {
+    const double s = evaluate(decode_order(problem, seed), config_.weights);
+    if (s < best_score) {
+      best_score = s;
+      best = seed;
+    }
+  }
+  auto ls = local_search(problem, std::move(best), config_.weights, config_.local_search_evals);
+  auto sa = simulated_annealing(problem, std::move(ls.order), config_.weights, config_.sa, rng_);
+  auto polished =
+      local_search(problem, std::move(sa.order), config_.weights, config_.local_search_evals / 2);
+  priority_.clear();
+  for (const std::size_t idx : polished.order) priority_.push_back(problem.jobs[idx].id);
+  last_thought_ = util::format("replan: SA portfolio over %zu jobs, objective %.1f",
+                               problem.jobs.size(), polished.score);
+  insertions_since_reopt_ = 0;
+}
+
+void OptimizingScheduler::insert_new_jobs(const Problem& problem) {
+  std::set<sim::JobId> planned(priority_.begin(), priority_.end());
+  std::vector<sim::JobId> new_ids;
+  for (const auto& j : problem.jobs) {
+    if (planned.count(j.id) == 0) new_ids.push_back(j.id);
+  }
+  if (new_ids.empty()) return;
+
+  // Map ids to indices in problem.jobs for decoding.
+  auto index_of = [&problem](sim::JobId id) {
+    for (std::size_t i = 0; i < problem.jobs.size(); ++i) {
+      if (problem.jobs[i].id == id) return i;
+    }
+    throw std::logic_error("OptimizingScheduler: id not in problem");
+  };
+
+  for (const sim::JobId id : new_ids) {
+    // Greedy best-position insertion of the newcomer into the priority list.
+    std::vector<std::size_t> base;
+    base.reserve(priority_.size());
+    for (const sim::JobId pid : priority_) base.push_back(index_of(pid));
+    const std::size_t new_idx = index_of(id);
+
+    double best_score = 0.0;
+    std::size_t best_pos = 0;
+    bool first = true;
+    for (std::size_t pos = 0; pos <= base.size(); ++pos) {
+      std::vector<std::size_t> candidate = base;
+      candidate.insert(candidate.begin() + static_cast<std::ptrdiff_t>(pos), new_idx);
+      const double score = evaluate(decode_order(problem, candidate), config_.weights);
+      if (first || score < best_score) {
+        best_score = score;
+        best_pos = pos;
+        first = false;
+      }
+    }
+    priority_.insert(priority_.begin() + static_cast<std::ptrdiff_t>(best_pos), id);
+    ++insertions_since_reopt_;
+  }
+  if (insertions_since_reopt_ >= config_.reopt_every) {
+    full_replan(problem);
+  }
+}
+
+sim::Action OptimizingScheduler::decide(const sim::DecisionContext& ctx) {
+  if (ctx.waiting.empty()) {
+    return ctx.arrivals_pending || !ctx.ineligible.empty() ? sim::Action::delay()
+                                                           : sim::Action::stop();
+  }
+  const Problem problem = Problem::from_context(ctx);
+
+  // Prune departed ids, then plan newcomers.
+  std::set<sim::JobId> waiting_ids;
+  for (const auto& j : ctx.waiting) waiting_ids.insert(j.id);
+  priority_.erase(std::remove_if(priority_.begin(), priority_.end(),
+                                 [&](sim::JobId id) { return waiting_ids.count(id) == 0; }),
+                  priority_.end());
+  if (priority_.empty()) {
+    full_replan(problem);
+  } else {
+    insert_new_jobs(problem);
+  }
+
+  // Execute: start the highest-priority job that fits right now.
+  for (const sim::JobId id : priority_) {
+    const auto it = std::find_if(ctx.waiting.begin(), ctx.waiting.end(),
+                                 [&](const sim::Job& j) { return j.id == id; });
+    if (it != ctx.waiting.end() && ctx.cluster.fits(*it)) {
+      return sim::Action::start(id);
+    }
+  }
+  return sim::Action::delay();
+}
+
+}  // namespace reasched::opt

@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "opt/branch_and_bound.hpp"
+#include "opt/objective.hpp"
+#include "opt/simulated_annealing.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace reasched::opt {
+
+struct OptimizingSchedulerConfig {
+  ObjectiveWeights weights;
+  /// Queue sizes up to this use exact branch-and-bound; larger fall back to
+  /// seeds + local search + simulated annealing.
+  std::size_t bnb_threshold = 9;
+  SaConfig sa;
+  std::size_t local_search_evals = 3000;
+  /// Full metaheuristic re-optimization every this many greedy insertions
+  /// (new arrivals are first placed by best-position insertion, which is
+  /// cheap; periodic SA keeps the plan near-optimal).
+  std::size_t reopt_every = 16;
+  std::uint64_t seed = 1;
+};
+
+/// The OR-Tools stand-in (see DESIGN.md "Substitutions"): computes
+/// near-optimal offline schedules for the currently known queue and executes
+/// them as a priority order through the simulator, re-planning as jobs
+/// arrive. Like the paper's OR-Tools baseline it optimizes makespan/packing
+/// with no fairness term, which yields the paper's signature behaviour:
+/// highest utilization and throughput, degraded wait-time fairness.
+class OptimizingScheduler final : public sim::Scheduler {
+ public:
+  explicit OptimizingScheduler(OptimizingSchedulerConfig config = {});
+
+  sim::Action decide(const sim::DecisionContext& ctx) override;
+  std::string name() const override { return "OR-Tools*"; }
+  std::string last_thought() const override { return last_thought_; }
+  void reset() override;
+
+  /// Number of full plan computations performed (observability for tests).
+  std::size_t replans() const { return replans_; }
+
+ private:
+  void full_replan(const Problem& problem);
+  void insert_new_jobs(const Problem& problem);
+
+  OptimizingSchedulerConfig config_;
+  util::Rng rng_;
+  /// Priority order over job ids; execution starts the first fitting job.
+  std::vector<sim::JobId> priority_;
+  std::size_t insertions_since_reopt_ = 0;
+  std::size_t replans_ = 0;
+  std::string last_thought_;
+};
+
+}  // namespace reasched::opt

@@ -1,0 +1,94 @@
+#include "opt/particle_swarm.hpp"
+
+#include <algorithm>
+
+#include "opt/list_scheduler.hpp"
+
+namespace reasched::opt {
+
+std::vector<std::pair<std::size_t, std::size_t>> swap_sequence(
+    std::vector<std::size_t> from, const std::vector<std::size_t>& to) {
+  std::vector<std::pair<std::size_t, std::size_t>> swaps;
+  const std::size_t n = from.size();
+  // position_of[value] = index in `from`, maintained across swaps.
+  std::vector<std::size_t> position_of(n);
+  for (std::size_t i = 0; i < n; ++i) position_of[from[i]] = i;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (from[i] == to[i]) continue;
+    const std::size_t j = position_of[to[i]];
+    swaps.emplace_back(i, j);
+    position_of[from[i]] = j;
+    position_of[from[j]] = i;
+    std::swap(from[i], from[j]);
+  }
+  return swaps;
+}
+
+PsoResult particle_swarm(const Problem& problem, std::vector<std::size_t> seed_order,
+                         const ObjectiveWeights& weights, const PsoConfig& config,
+                         util::Rng& rng) {
+  PsoResult best;
+  const std::size_t n = seed_order.size();
+  best.order = seed_order;
+  best.score = evaluate(decode_order(problem, best.order), weights);
+  best.evaluations = 1;
+  if (n < 2 || config.particles == 0) return best;
+
+  struct Particle {
+    std::vector<std::size_t> position;
+    std::vector<std::size_t> personal_best;
+    double personal_score;
+  };
+
+  auto score_of = [&](const std::vector<std::size_t>& order) {
+    ++best.evaluations;
+    return evaluate(decode_order(problem, order), weights);
+  };
+
+  std::vector<Particle> swarm;
+  swarm.reserve(config.particles);
+  for (std::size_t p = 0; p < config.particles; ++p) {
+    auto pos = seed_order;
+    if (p != 0) rng.shuffle(pos);
+    const double s = score_of(pos);
+    if (s < best.score) {
+      best.score = s;
+      best.order = pos;
+    }
+    swarm.push_back({pos, pos, s});
+  }
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    for (auto& particle : swarm) {
+      // Pull toward personal best: apply each corrective swap with prob c1.
+      for (const auto& [i, j] : swap_sequence(particle.position, particle.personal_best)) {
+        if (rng.bernoulli(config.c1)) std::swap(particle.position[i], particle.position[j]);
+      }
+      // Pull toward global best with prob c2.
+      for (const auto& [i, j] : swap_sequence(particle.position, best.order)) {
+        if (rng.bernoulli(config.c2)) std::swap(particle.position[i], particle.position[j]);
+      }
+      // Inertia: random exploratory swaps.
+      if (rng.bernoulli(std::min(1.0, config.inertia))) {
+        const auto i =
+            static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const auto j =
+            static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        std::swap(particle.position[i], particle.position[j]);
+      }
+
+      const double s = score_of(particle.position);
+      if (s < particle.personal_score) {
+        particle.personal_score = s;
+        particle.personal_best = particle.position;
+      }
+      if (s < best.score) {
+        best.score = s;
+        best.order = particle.position;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace reasched::opt

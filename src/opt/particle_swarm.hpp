@@ -1,0 +1,40 @@
+#pragma once
+
+#include <vector>
+
+#include "opt/model.hpp"
+#include "opt/objective.hpp"
+#include "util/rng.hpp"
+
+namespace reasched::opt {
+
+/// Discrete particle swarm optimization over permutations (the paper's
+/// related work cites PSO - Wang 2018 - among classical metaheuristics).
+/// The standard combinatorial adaptation: a particle's "velocity" is a swap
+/// sequence; each iteration the particle applies swaps that move it toward
+/// its personal best and the global best with probabilities c1/c2, plus
+/// random-walk swaps scaled by inertia.
+struct PsoConfig {
+  std::size_t particles = 24;
+  std::size_t iterations = 80;
+  double c1 = 0.5;       ///< pull toward personal best
+  double c2 = 0.5;       ///< pull toward global best
+  double inertia = 0.15; ///< random-walk swaps per particle per iteration (expected)
+};
+
+struct PsoResult {
+  std::vector<std::size_t> order;
+  double score = 0.0;
+  std::size_t evaluations = 0;
+};
+
+PsoResult particle_swarm(const Problem& problem, std::vector<std::size_t> seed_order,
+                         const ObjectiveWeights& weights, const PsoConfig& config,
+                         util::Rng& rng);
+
+/// The swap sequence transforming `from` into `to` (both permutations of the
+/// same elements); applying it to `from` yields `to`. Exposed for testing.
+std::vector<std::pair<std::size_t, std::size_t>> swap_sequence(
+    std::vector<std::size_t> from, const std::vector<std::size_t>& to);
+
+}  // namespace reasched::opt

@@ -1,0 +1,75 @@
+#include "opt/resource_profile.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace reasched::opt {
+
+ResourceProfile::ResourceProfile(int total_nodes, double total_memory_gb)
+    : total_nodes_(total_nodes), total_memory_gb_(total_memory_gb) {
+  usage_[0.0] = Usage{};
+}
+
+std::map<double, ResourceProfile::Usage>::iterator ResourceProfile::ensure_breakpoint(double t) {
+  auto it = usage_.lower_bound(t);
+  if (it != usage_.end() && it->first == t) return it;
+  // Usage prevailing just before t.
+  const Usage prev = std::prev(it)->second;  // safe: key 0 always exists and t >= 0
+  return usage_.emplace(t, prev).first;
+}
+
+void ResourceProfile::add(double start, double duration, int nodes, double memory_gb) {
+  if (start < 0.0 || duration <= 0.0) throw std::logic_error("ResourceProfile::add: bad interval");
+  if (!fits(start, duration, nodes, memory_gb)) {
+    throw std::logic_error("ResourceProfile::add: capacity exceeded");
+  }
+  const double end = start + duration;
+  auto first = ensure_breakpoint(start);
+  ensure_breakpoint(end);
+  for (auto it = first; it != usage_.end() && it->first < end; ++it) {
+    it->second.nodes += nodes;
+    it->second.memory_gb += memory_gb;
+  }
+}
+
+bool ResourceProfile::fits(double start, double duration, int nodes, double memory_gb) const {
+  if (nodes > total_nodes_ || memory_gb > total_memory_gb_ + 1e-9) return false;
+  const double end = start + duration;
+  auto it = usage_.upper_bound(start);
+  if (it != usage_.begin()) --it;  // segment containing `start`
+  for (; it != usage_.end() && it->first < end; ++it) {
+    // Segment [it->first, next) overlaps [start, end)?
+    const auto next = std::next(it);
+    const double seg_end = next == usage_.end() ? std::numeric_limits<double>::infinity()
+                                                : next->first;
+    if (seg_end <= start) continue;
+    if (it->second.nodes + nodes > total_nodes_ ||
+        it->second.memory_gb + memory_gb > total_memory_gb_ + 1e-9) {
+      return false;
+    }
+  }
+  return true;
+}
+
+double ResourceProfile::earliest_fit(double not_before, double duration, int nodes,
+                                     double memory_gb) const {
+  if (nodes > total_nodes_ || memory_gb > total_memory_gb_ + 1e-9) {
+    throw std::logic_error("ResourceProfile::earliest_fit: demand exceeds capacity");
+  }
+  double t = not_before;
+  for (;;) {
+    if (fits(t, duration, nodes, memory_gb)) return t;
+    // Jump to the next breakpoint after t (usage only changes there).
+    const auto it = usage_.upper_bound(t);
+    if (it == usage_.end()) return t;  // beyond the last breakpoint everything is free
+    t = it->first;
+  }
+}
+
+int ResourceProfile::peak_nodes() const {
+  int peak = 0;
+  for (const auto& [t, u] : usage_) peak = std::max(peak, u.nodes);
+  return peak;
+}
+
+}  // namespace reasched::opt

@@ -1,0 +1,65 @@
+#include "opt/simulated_annealing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "opt/list_scheduler.hpp"
+
+namespace reasched::opt {
+
+SaResult simulated_annealing(const Problem& problem, std::vector<std::size_t> seed_order,
+                             const ObjectiveWeights& weights, const SaConfig& config,
+                             util::Rng& rng) {
+  SaResult best;
+  best.order = seed_order;
+  best.score = evaluate(decode_order(problem, best.order), weights);
+  best.evaluations = 1;
+
+  const std::size_t n = seed_order.size();
+  if (n < 2) return best;
+
+  std::vector<std::size_t> current = std::move(seed_order);
+  double current_score = best.score;
+  double temperature = std::max(1e-9, best.score * config.initial_temperature);
+
+  for (std::size_t iter = 0; iter < config.iterations; ++iter) {
+    std::vector<std::size_t> candidate = current;
+    const auto move = rng.uniform_int(0, 2);
+    const auto i = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    auto j = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (i == j) j = (j + 1) % n;
+    switch (move) {
+      case 0:  // swap
+        std::swap(candidate[i], candidate[j]);
+        break;
+      case 1: {  // insert i at position j
+        const std::size_t v = candidate[i];
+        candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+        candidate.insert(candidate.begin() + static_cast<std::ptrdiff_t>(std::min(j, n - 1)), v);
+        break;
+      }
+      default: {  // reverse the block between i and j
+        const auto [lo, hi] = std::minmax(i, j);
+        std::reverse(candidate.begin() + static_cast<std::ptrdiff_t>(lo),
+                     candidate.begin() + static_cast<std::ptrdiff_t>(hi) + 1);
+        break;
+      }
+    }
+    const double score = evaluate(decode_order(problem, candidate), weights);
+    ++best.evaluations;
+    const double delta = score - current_score;
+    if (delta <= 0.0 || rng.uniform_real(0.0, 1.0) < std::exp(-delta / temperature)) {
+      current = std::move(candidate);
+      current_score = score;
+      ++best.accepted_moves;
+      if (score < best.score) {
+        best.score = score;
+        best.order = current;
+      }
+    }
+    temperature = std::max(1e-9, temperature * config.cooling);
+  }
+  return best;
+}
+
+}  // namespace reasched::opt

@@ -1,0 +1,48 @@
+#include "sched/easy_backfill.hpp"
+
+#include <limits>
+
+namespace reasched::sched {
+
+EasyBackfillScheduler::Shadow EasyBackfillScheduler::compute_shadow(
+    const sim::DecisionContext& ctx, const sim::Job& head) {
+  // Walk completions in end-time order, accumulating released resources
+  // until the head job fits.
+  int nodes = ctx.cluster.available_nodes();
+  double memory = ctx.cluster.available_memory_gb();
+  Shadow s;
+  s.time = ctx.now;
+  for (const auto& alloc : ctx.running) {  // sorted by end time
+    if (nodes >= head.nodes && memory >= head.memory_gb) break;
+    nodes += alloc.job.nodes;
+    memory += alloc.job.memory_gb;
+    s.time = alloc.end_time;
+  }
+  s.spare_nodes = nodes - head.nodes;
+  s.spare_memory = memory - head.memory_gb;
+  return s;
+}
+
+sim::Action EasyBackfillScheduler::decide(const sim::DecisionContext& ctx) {
+  if (ctx.waiting.empty()) {
+    return ctx.arrivals_pending || !ctx.ineligible.empty() ? sim::Action::delay()
+                                                           : sim::Action::stop();
+  }
+  const sim::Job& head = ctx.waiting.front();
+  if (ctx.cluster.fits(head)) return sim::Action::start(head.id);
+
+  const Shadow shadow = compute_shadow(ctx, head);
+  for (std::size_t i = 1; i < ctx.waiting.size(); ++i) {
+    const sim::Job& cand = ctx.waiting[i];
+    if (!ctx.cluster.fits(cand)) continue;
+    const bool finishes_before_shadow = ctx.now + cand.walltime <= shadow.time + 1e-9;
+    const bool within_spare =
+        cand.nodes <= shadow.spare_nodes && cand.memory_gb <= shadow.spare_memory + 1e-9;
+    if (finishes_before_shadow || within_spare) {
+      return sim::Action::backfill(cand.id);
+    }
+  }
+  return sim::Action::delay();
+}
+
+}  // namespace reasched::sched

@@ -1,0 +1,29 @@
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace reasched::sched {
+
+/// EASY backfilling (Srinivasan et al. 2002, cited by the paper's related
+/// work as the production standard): FCFS order with a reservation for the
+/// head-of-queue job; any later job may run early if it fits now and cannot
+/// delay the head's reservation (either it finishes before the shadow time
+/// or it uses only the nodes/memory left over at the shadow time).
+///
+/// Not part of the paper's comparison set - included as an extension so the
+/// LLM agent can be measured against the heuristic HPC sites actually run.
+class EasyBackfillScheduler final : public sim::Scheduler {
+ public:
+  sim::Action decide(const sim::DecisionContext& ctx) override;
+  std::string name() const override { return "EASY-Backfill"; }
+
+ private:
+  struct Shadow {
+    double time = 0.0;       ///< earliest time the head job can start
+    int spare_nodes = 0;     ///< nodes free at shadow time after head starts
+    double spare_memory = 0; ///< memory free at shadow time after head starts
+  };
+  static Shadow compute_shadow(const sim::DecisionContext& ctx, const sim::Job& head);
+};
+
+}  // namespace reasched::sched

@@ -1,0 +1,16 @@
+#include "sched/fcfs.hpp"
+
+namespace reasched::sched {
+
+sim::Action FcfsScheduler::decide(const sim::DecisionContext& ctx) {
+  if (ctx.waiting.empty()) {
+    return ctx.arrivals_pending || !ctx.ineligible.empty() ? sim::Action::delay()
+                                                           : sim::Action::stop();
+  }
+  // ctx.waiting is kept in arrival order by the engine.
+  const sim::Job& head = ctx.waiting.front();
+  if (ctx.cluster.fits(head)) return sim::Action::start(head.id);
+  return sim::Action::delay();
+}
+
+}  // namespace reasched::sched

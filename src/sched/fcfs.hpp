@@ -1,0 +1,18 @@
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace reasched::sched {
+
+/// First-Come-First-Served (paper Section 3.3): starts jobs strictly in
+/// arrival order with head-of-line blocking - if the oldest waiting job does
+/// not fit, nothing runs until it does. This is the normalization baseline
+/// (all Figure 3/4/7/8 metrics are ratios against FCFS) and the scheduler
+/// that exposes the convoy effect in Long-Job Dominant / Adversarial.
+class FcfsScheduler final : public sim::Scheduler {
+ public:
+  sim::Action decide(const sim::DecisionContext& ctx) override;
+  std::string name() const override { return "FCFS"; }
+};
+
+}  // namespace reasched::sched

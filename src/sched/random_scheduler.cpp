@@ -1,0 +1,23 @@
+#include "sched/random_scheduler.hpp"
+
+#include <vector>
+
+namespace reasched::sched {
+
+sim::Action RandomScheduler::decide(const sim::DecisionContext& ctx) {
+  if (ctx.waiting.empty()) {
+    return ctx.arrivals_pending || !ctx.ineligible.empty() ? sim::Action::delay()
+                                                           : sim::Action::stop();
+  }
+  std::vector<const sim::Job*> feasible;
+  feasible.reserve(ctx.waiting.size());
+  for (const auto& j : ctx.waiting) {
+    if (ctx.cluster.fits(j)) feasible.push_back(&j);
+  }
+  if (feasible.empty()) return sim::Action::delay();
+  const auto idx = static_cast<std::size_t>(
+      rng_.uniform_int(0, static_cast<std::int64_t>(feasible.size()) - 1));
+  return sim::Action::start(feasible[idx]->id);
+}
+
+}  // namespace reasched::sched

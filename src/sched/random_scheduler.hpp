@@ -1,0 +1,24 @@
+#pragma once
+
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace reasched::sched {
+
+/// Starts a uniformly random feasible waiting job (or delays when nothing
+/// fits). Not a paper baseline - used by property tests as an arbitrary
+/// well-formed policy, and handy as a sanity floor in custom experiments.
+class RandomScheduler final : public sim::Scheduler {
+ public:
+  explicit RandomScheduler(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+  sim::Action decide(const sim::DecisionContext& ctx) override;
+  std::string name() const override { return "Random"; }
+  void reset() override { rng_ = util::Rng(seed_); }
+
+ private:
+  std::uint64_t seed_;
+  util::Rng rng_;
+};
+
+}  // namespace reasched::sched

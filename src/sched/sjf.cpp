@@ -1,0 +1,21 @@
+#include "sched/sjf.hpp"
+
+#include <algorithm>
+
+namespace reasched::sched {
+
+sim::Action SjfScheduler::decide(const sim::DecisionContext& ctx) {
+  if (ctx.waiting.empty()) {
+    return ctx.arrivals_pending || !ctx.ineligible.empty() ? sim::Action::delay()
+                                                           : sim::Action::stop();
+  }
+  const auto shortest = std::min_element(
+      ctx.waiting.begin(), ctx.waiting.end(), [](const sim::Job& a, const sim::Job& b) {
+        if (a.walltime != b.walltime) return a.walltime < b.walltime;
+        return sim::arrival_order(a, b);
+      });
+  if (ctx.cluster.fits(*shortest)) return sim::Action::start(shortest->id);
+  return sim::Action::delay();
+}
+
+}  // namespace reasched::sched

@@ -1,0 +1,18 @@
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace reasched::sched {
+
+/// Shortest-Job-First (paper Section 3.3): always tries to start the waiting
+/// job with the smallest walltime estimate. Reduces average turnaround but
+/// can starve long jobs, degrading fairness. Like the paper's variant, this
+/// is strict SJF without backfilling: if the shortest job does not fit, the
+/// scheduler waits.
+class SjfScheduler final : public sim::Scheduler {
+ public:
+  sim::Action decide(const sim::DecisionContext& ctx) override;
+  std::string name() const override { return "SJF"; }
+};
+
+}  // namespace reasched::sched

@@ -1,0 +1,27 @@
+#include "sim/action.hpp"
+
+#include "util/string_utils.hpp"
+
+namespace reasched::sim {
+
+std::string Action::to_string() const {
+  switch (type) {
+    case ActionType::kStartJob: return util::format("StartJob(job_id=%d)", job_id);
+    case ActionType::kBackfillJob: return util::format("BackfillJob(job_id=%d)", job_id);
+    case ActionType::kDelay: return "Delay";
+    case ActionType::kStop: return "Stop";
+  }
+  return "?";
+}
+
+const char* to_string(ActionType t) {
+  switch (t) {
+    case ActionType::kStartJob: return "StartJob";
+    case ActionType::kBackfillJob: return "BackfillJob";
+    case ActionType::kDelay: return "Delay";
+    case ActionType::kStop: return "Stop";
+  }
+  return "?";
+}
+
+}  // namespace reasched::sim

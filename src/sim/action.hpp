@@ -1,0 +1,39 @@
+#pragma once
+
+#include <string>
+
+#include "sim/job.hpp"
+
+namespace reasched::sim {
+
+/// The agent's action space (paper Section 2.2):
+///   StartJob(job_id=X)    - start X immediately
+///   BackfillJob(job_id=Y) - opportunistically run a smaller job earlier
+///   Delay                 - defer until conditions change
+///   Stop                  - end the scheduling process
+enum class ActionType { kStartJob, kBackfillJob, kDelay, kStop };
+
+struct Action {
+  ActionType type = ActionType::kDelay;
+  JobId job_id = 0;
+
+  static Action start(JobId id) { return {ActionType::kStartJob, id}; }
+  static Action backfill(JobId id) { return {ActionType::kBackfillJob, id}; }
+  static Action delay() { return {ActionType::kDelay, 0}; }
+  static Action stop() { return {ActionType::kStop, 0}; }
+
+  /// True for StartJob / BackfillJob - the actions that place a job and
+  /// whose LLM calls the paper counts in the overhead analysis (S3.7.1).
+  bool places_job() const {
+    return type == ActionType::kStartJob || type == ActionType::kBackfillJob;
+  }
+
+  /// Render exactly in the paper's surface syntax, e.g. "StartJob(job_id=9)".
+  std::string to_string() const;
+
+  bool operator==(const Action& other) const = default;
+};
+
+const char* to_string(ActionType t);
+
+}  // namespace reasched::sim

@@ -1,0 +1,77 @@
+#include "sim/cluster.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/string_utils.hpp"
+
+namespace reasched::sim {
+
+ClusterState::ClusterState(ClusterSpec spec)
+    : spec_(spec),
+      available_nodes_(spec.total_nodes),
+      available_memory_gb_(spec.total_memory_gb) {
+  if (spec.total_nodes <= 0 || spec.total_memory_gb <= 0.0) {
+    throw std::invalid_argument("ClusterSpec: non-positive capacity");
+  }
+}
+
+bool ClusterState::fits(const Job& job) const {
+  return job.nodes <= available_nodes_ && job.memory_gb <= available_memory_gb_ + 1e-9;
+}
+
+bool ClusterState::fits_empty(const Job& job) const {
+  return job.nodes <= spec_.total_nodes && job.memory_gb <= spec_.total_memory_gb + 1e-9;
+}
+
+void ClusterState::allocate(const Job& job, double start) {
+  if (running_.count(job.id) != 0) {
+    throw std::logic_error(util::format("ClusterState: job %d already running", job.id));
+  }
+  if (!fits(job)) {
+    throw std::logic_error(util::format(
+        "ClusterState: job %d (%d nodes, %.0f GB) exceeds available (%d nodes, %.0f GB)", job.id,
+        job.nodes, job.memory_gb, available_nodes_, available_memory_gb_));
+  }
+  available_nodes_ -= job.nodes;
+  available_memory_gb_ -= job.memory_gb;
+  running_.emplace(job.id, Allocation{job, start, start + job.duration});
+}
+
+ClusterState::Allocation ClusterState::release(JobId id) {
+  const auto it = running_.find(id);
+  if (it == running_.end()) {
+    throw std::logic_error(util::format("ClusterState: release of unknown job %d", id));
+  }
+  Allocation alloc = it->second;
+  running_.erase(it);
+  available_nodes_ += alloc.job.nodes;
+  available_memory_gb_ += alloc.job.memory_gb;
+  return alloc;
+}
+
+std::vector<ClusterState::Allocation> ClusterState::running_by_end_time() const {
+  std::vector<Allocation> out;
+  out.reserve(running_.size());
+  for (const auto& [id, alloc] : running_) out.push_back(alloc);
+  std::sort(out.begin(), out.end(), [](const Allocation& a, const Allocation& b) {
+    if (a.end_time != b.end_time) return a.end_time < b.end_time;
+    return a.job.id < b.job.id;
+  });
+  return out;
+}
+
+bool ClusterState::invariants_hold() const {
+  int nodes = 0;
+  double mem = 0.0;
+  for (const auto& [id, alloc] : running_) {
+    nodes += alloc.job.nodes;
+    mem += alloc.job.memory_gb;
+  }
+  return nodes + available_nodes_ == spec_.total_nodes &&
+         std::fabs(mem + available_memory_gb_ - spec_.total_memory_gb) < 1e-6 &&
+         available_nodes_ >= 0 && available_memory_gb_ >= -1e-6;
+}
+
+}  // namespace reasched::sim

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "sim/job.hpp"
+
+namespace reasched::sim {
+
+/// Static description of the simulated cluster partition.
+/// The paper's main experiments use 256 nodes / 2048 GB (Section 3.1);
+/// the Polaris trace experiments use 560 nodes x 512 GB/node (Section 5).
+struct ClusterSpec {
+  int total_nodes = 256;
+  double total_memory_gb = 2048.0;
+  /// Extension (energy-aware scheduling, paper Section 6): nominal draw of
+  /// one busy node, used by metrics::energy_kwh.
+  double watts_per_busy_node = 350.0;
+  double watts_per_idle_node = 90.0;
+
+  static ClusterSpec paper_default() { return {}; }
+  static ClusterSpec polaris() {
+    ClusterSpec s;
+    s.total_nodes = 560;
+    s.total_memory_gb = 560.0 * 512.0;
+    return s;
+  }
+};
+
+/// Mutable resource ledger: which jobs hold nodes/memory right now.
+/// Enforces the two capacity constraints of Section 3.3
+///   sum nodes(active) <= N_total,  sum mem(active) <= M_total
+/// by construction - allocate() throws if either would be violated, so any
+/// scheduler bug is caught at the source.
+class ClusterState {
+ public:
+  explicit ClusterState(ClusterSpec spec);
+
+  const ClusterSpec& spec() const { return spec_; }
+  int available_nodes() const { return available_nodes_; }
+  double available_memory_gb() const { return available_memory_gb_; }
+  int used_nodes() const { return spec_.total_nodes - available_nodes_; }
+  double used_memory_gb() const { return spec_.total_memory_gb - available_memory_gb_; }
+
+  /// Can `job` run right now? (first-fit feasibility test).
+  bool fits(const Job& job) const;
+
+  /// Would `job` ever fit on an empty cluster? Jobs violating this are
+  /// unschedulable and rejected at submission.
+  bool fits_empty(const Job& job) const;
+
+  struct Allocation {
+    Job job;
+    double start_time = 0.0;
+    double end_time = 0.0;
+  };
+
+  /// Claim resources for `job` from `start` to `start + job.duration`.
+  /// Throws std::logic_error when capacity would be exceeded or the job id
+  /// is already running.
+  void allocate(const Job& job, double start);
+
+  /// Release a completed job's resources; returns its allocation record.
+  /// Throws std::logic_error for unknown ids.
+  Allocation release(JobId id);
+
+  bool is_running(JobId id) const { return running_.count(id) != 0; }
+  std::size_t running_count() const { return running_.size(); }
+
+  /// Running allocations sorted by end time (soonest first) - what a
+  /// backfilling scheduler needs to compute shadow windows.
+  std::vector<Allocation> running_by_end_time() const;
+
+  /// Internal-consistency check (sums match capacities); used by tests and
+  /// debug assertions.
+  bool invariants_hold() const;
+
+ private:
+  ClusterSpec spec_;
+  int available_nodes_;
+  double available_memory_gb_;
+  std::map<JobId, Allocation> running_;
+};
+
+}  // namespace reasched::sim

@@ -1,0 +1,84 @@
+#include "sim/constraint_checker.hpp"
+
+#include <algorithm>
+
+#include "util/string_utils.hpp"
+
+namespace reasched::sim {
+
+Validation ConstraintChecker::check(const Action& action, const DecisionContext& ctx) const {
+  switch (action.type) {
+    case ActionType::kDelay:
+      return {};
+
+    case ActionType::kStop: {
+      if (!ctx.waiting.empty() || !ctx.ineligible.empty() || ctx.arrivals_pending) {
+        const std::size_t remaining =
+            ctx.waiting.size() + ctx.ineligible.size();
+        return {ViolationCode::kPrematureStop,
+                util::format("Stop rejected - %zu job(s) still waiting and %s; "
+                             "all jobs must be scheduled before stopping.",
+                             remaining,
+                             ctx.arrivals_pending ? "more arrivals are pending"
+                                                  : "no more arrivals are pending")};
+      }
+      return {};
+    }
+
+    case ActionType::kStartJob:
+    case ActionType::kBackfillJob: {
+      const auto it = std::find_if(ctx.waiting.begin(), ctx.waiting.end(),
+                                   [&](const Job& j) { return j.id == action.job_id; });
+      if (it == ctx.waiting.end()) {
+        if (ctx.cluster.is_running(action.job_id)) {
+          return {ViolationCode::kAlreadyRunning,
+                  util::format("Job %d is already running; it cannot be started twice.",
+                               action.job_id)};
+        }
+        const auto dep_it =
+            std::find_if(ctx.ineligible.begin(), ctx.ineligible.end(),
+                         [&](const Job& j) { return j.id == action.job_id; });
+        if (dep_it != ctx.ineligible.end()) {
+          return {ViolationCode::kDependencyUnmet,
+                  util::format("Job %d is not yet eligible - it depends on jobs that have "
+                               "not completed.",
+                               action.job_id)};
+        }
+        return {ViolationCode::kUnknownJob,
+                util::format("Job %d is not in the waiting queue.", action.job_id)};
+      }
+      const Job& job = *it;
+      if (job.nodes > ctx.cluster.available_nodes()) {
+        return {ViolationCode::kInsufficientNodes,
+                util::format("Job %d cannot be started - requires %d Nodes, %.0f GB; "
+                             "available: %d Nodes, %.0f GB.",
+                             job.id, job.nodes, job.memory_gb, ctx.cluster.available_nodes(),
+                             ctx.cluster.available_memory_gb())};
+      }
+      if (job.memory_gb > ctx.cluster.available_memory_gb() + 1e-9) {
+        return {ViolationCode::kInsufficientMemory,
+                util::format("Job %d cannot be started - requires %d Nodes, %.0f GB; "
+                             "available: %d Nodes, %.0f GB.",
+                             job.id, job.nodes, job.memory_gb, ctx.cluster.available_nodes(),
+                             ctx.cluster.available_memory_gb())};
+      }
+      return {};
+    }
+  }
+  return {};
+}
+
+const char* to_string(ViolationCode code) {
+  switch (code) {
+    case ViolationCode::kNone: return "none";
+    case ViolationCode::kUnknownJob: return "unknown-job";
+    case ViolationCode::kAlreadyRunning: return "already-running";
+    case ViolationCode::kInsufficientNodes: return "insufficient-nodes";
+    case ViolationCode::kInsufficientMemory: return "insufficient-memory";
+    case ViolationCode::kDependencyUnmet: return "dependency-unmet";
+    case ViolationCode::kPrematureStop: return "premature-stop";
+  }
+  return "?";
+}
+
+}  // namespace reasched::sim

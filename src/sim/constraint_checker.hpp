@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+
+#include "sim/action.hpp"
+#include "sim/scheduler.hpp"
+
+namespace reasched::sim {
+
+/// Why an action was rejected. kNone means the action is feasible.
+enum class ViolationCode {
+  kNone,
+  kUnknownJob,          ///< job id not in the waiting queue
+  kAlreadyRunning,      ///< job already started
+  kInsufficientNodes,   ///< fewer free nodes than requested
+  kInsufficientMemory,  ///< less free memory than requested
+  kDependencyUnmet,     ///< extension: predecessor jobs not completed
+  kPrematureStop,       ///< Stop while jobs remain waiting or arriving
+};
+
+struct Validation {
+  ViolationCode code = ViolationCode::kNone;
+  std::string detail;  ///< natural-language explanation (paper Section 2.4)
+
+  bool ok() const { return code == ViolationCode::kNone; }
+};
+
+/// The paper's constraint-enforcement module (Section 2.4): every
+/// LLM-suggested (or baseline-suggested) action is validated against the
+/// live simulator state before execution. Reasoning and enforcement are
+/// deliberately separate: the checker never *chooses* actions, it only
+/// accepts or rejects with an explanation.
+class ConstraintChecker {
+ public:
+  /// Validate `action` against the context. Delay is always legal; Stop is
+  /// legal only when no waiting jobs remain and no arrivals are pending.
+  Validation check(const Action& action, const DecisionContext& ctx) const;
+};
+
+const char* to_string(ViolationCode code);
+
+}  // namespace reasched::sim

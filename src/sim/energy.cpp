@@ -1,0 +1,27 @@
+#include "sim/energy.hpp"
+
+#include <algorithm>
+
+namespace reasched::sim {
+
+EnergyReport compute_energy(const ScheduleResult& result, const ClusterSpec& spec) {
+  EnergyReport report;
+  if (result.completed.empty()) return report;
+
+  double earliest = result.completed.front().job.submit_time;
+  double latest = 0.0;
+  for (const auto& c : result.completed) {
+    earliest = std::min(earliest, c.job.submit_time);
+    latest = std::max(latest, c.end_time);
+    report.busy_node_seconds += static_cast<double>(c.job.nodes) * (c.end_time - c.start_time);
+  }
+  const double horizon = std::max(0.0, latest - earliest);
+  const double total_node_seconds = static_cast<double>(spec.total_nodes) * horizon;
+  report.idle_node_seconds = std::max(0.0, total_node_seconds - report.busy_node_seconds);
+  const double joules = report.busy_node_seconds * spec.watts_per_busy_node +
+                        report.idle_node_seconds * spec.watts_per_idle_node;
+  report.energy_kwh = joules / 3.6e6;
+  return report;
+}
+
+}  // namespace reasched::sim

@@ -1,0 +1,20 @@
+#pragma once
+
+#include "sim/cluster.hpp"
+#include "sim/schedule_result.hpp"
+
+namespace reasched::sim {
+
+/// Energy model - an implementation of the paper's "energy-aware scheduling"
+/// future-work direction (Section 6). Nodes draw `watts_per_busy_node` while
+/// running a job and `watts_per_idle_node` otherwise, integrated over the
+/// makespan.
+struct EnergyReport {
+  double busy_node_seconds = 0.0;
+  double idle_node_seconds = 0.0;
+  double energy_kwh = 0.0;
+};
+
+EnergyReport compute_energy(const ScheduleResult& result, const ClusterSpec& spec);
+
+}  // namespace reasched::sim

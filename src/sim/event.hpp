@@ -1,0 +1,29 @@
+#pragma once
+
+#include "sim/job.hpp"
+
+namespace reasched::sim {
+
+/// The two event kinds the paper's discrete-event simulator advances on
+/// (Section 3.1): job arrivals and job completions. Completions sort before
+/// arrivals at equal timestamps so resources freed at time t are visible to
+/// jobs arriving at t.
+enum class EventType { kCompletion = 0, kArrival = 1 };
+
+struct Event {
+  double time = 0.0;
+  EventType type = EventType::kArrival;
+  JobId job_id = 0;
+  /// Monotone sequence number for deterministic tie-breaking.
+  std::uint64_t seq = 0;
+};
+
+/// Strict-weak ordering: earliest time first; completions before arrivals;
+/// then insertion order.
+inline bool event_after(const Event& a, const Event& b) {
+  if (a.time != b.time) return a.time > b.time;
+  if (a.type != b.type) return static_cast<int>(a.type) > static_cast<int>(b.type);
+  return a.seq > b.seq;
+}
+
+}  // namespace reasched::sim

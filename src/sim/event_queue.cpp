@@ -1,0 +1,31 @@
+#include "sim/event_queue.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace reasched::sim {
+
+void EventQueue::push(double time, EventType type, JobId job_id) {
+  heap_.push(Event{time, type, job_id, next_seq_++});
+  if (type == EventType::kArrival) ++pending_arrivals_;
+}
+
+const Event& EventQueue::peek() const {
+  if (heap_.empty()) throw std::logic_error("EventQueue::peek on empty queue");
+  return heap_.top();
+}
+
+Event EventQueue::pop() {
+  if (heap_.empty()) throw std::logic_error("EventQueue::pop on empty queue");
+  Event e = heap_.top();
+  heap_.pop();
+  if (e.type == EventType::kArrival) --pending_arrivals_;
+  return e;
+}
+
+double EventQueue::next_time() const {
+  if (heap_.empty()) return std::numeric_limits<double>::infinity();
+  return heap_.top().time;
+}
+
+}  // namespace reasched::sim

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "sim/event.hpp"
+
+namespace reasched::sim {
+
+/// Deterministic priority queue over simulation events.
+class EventQueue {
+ public:
+  void push(double time, EventType type, JobId job_id);
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Earliest event (throws std::logic_error if empty).
+  const Event& peek() const;
+  Event pop();
+
+  /// Time of the next event, or +infinity when empty.
+  double next_time() const;
+
+  /// True when an arrival event is still pending (the agent's Stop action is
+  /// only legal once no more jobs will ever arrive).
+  bool has_pending_arrivals() const { return pending_arrivals_ > 0; }
+
+ private:
+  struct Cmp {
+    bool operator()(const Event& a, const Event& b) const { return event_after(a, b); }
+  };
+  std::priority_queue<Event, std::vector<Event>, Cmp> heap_;
+  std::uint64_t next_seq_ = 0;
+  std::size_t pending_arrivals_ = 0;
+};
+
+}  // namespace reasched::sim

@@ -1,0 +1,27 @@
+#include "sim/feedback.hpp"
+
+#include "util/string_utils.hpp"
+#include "util/time_format.hpp"
+
+namespace reasched::sim {
+
+std::string failure_label(ViolationCode code) {
+  switch (code) {
+    case ViolationCode::kNone: return "ok";
+    case ViolationCode::kUnknownJob: return "unknown job";
+    case ViolationCode::kAlreadyRunning: return "job already running";
+    case ViolationCode::kInsufficientNodes:
+    case ViolationCode::kInsufficientMemory: return "not enough resources";
+    case ViolationCode::kDependencyUnmet: return "dependencies unmet";
+    case ViolationCode::kPrematureStop: return "jobs still pending";
+  }
+  return "?";
+}
+
+std::string render_feedback(double now, const Action& action, const Validation& validation) {
+  return util::format("%s Action: %s failed (%s)\nFeedback: %s",
+                      util::format_sim_time(now).c_str(), to_string(action.type),
+                      failure_label(validation.code).c_str(), validation.detail.c_str());
+}
+
+}  // namespace reasched::sim

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+
+#include "sim/action.hpp"
+#include "sim/constraint_checker.hpp"
+
+namespace reasched::sim {
+
+/// Renders the environment's natural-language feedback for a rejected
+/// action, in the exact style the paper appends to the scratchpad:
+///
+///   [t=1554] Action: StartJob failed (not enough resources)
+///   Feedback: Job 32 cannot be started - requires 256 Nodes, 8 GB;
+///   available: 238 Nodes, 576 GB.
+std::string render_feedback(double now, const Action& action, const Validation& validation);
+
+/// Short failure label per violation, e.g. "not enough resources".
+std::string failure_label(ViolationCode code);
+
+}  // namespace reasched::sim

@@ -1,0 +1,32 @@
+#include "sim/job.hpp"
+
+#include "util/string_utils.hpp"
+
+namespace reasched::sim {
+
+bool Job::valid() const {
+  return id > 0 && duration > 0.0 && walltime > 0.0 && nodes >= 1 && memory_gb >= 0.0 &&
+         submit_time >= 0.0;
+}
+
+std::string Job::describe() const {
+  return util::format("Job %d (user_%d): %d nodes, %.0f GB, walltime=%.0f, submitted t=%.0f", id,
+                      user, nodes, memory_gb, walltime, submit_time);
+}
+
+bool arrival_order(const Job& a, const Job& b) {
+  if (a.submit_time != b.submit_time) return a.submit_time < b.submit_time;
+  return a.id < b.id;
+}
+
+const char* to_string(JobState s) {
+  switch (s) {
+    case JobState::kPending: return "pending";
+    case JobState::kWaiting: return "waiting";
+    case JobState::kRunning: return "running";
+    case JobState::kCompleted: return "completed";
+  }
+  return "?";
+}
+
+}  // namespace reasched::sim

@@ -1,0 +1,19 @@
+#include "sim/scheduler.hpp"
+
+namespace reasched::sim {
+
+void Scheduler::on_feedback(const std::string& feedback, const DecisionContext& ctx) {
+  (void)feedback;
+  (void)ctx;
+}
+
+void Scheduler::on_accepted(const Action& action, const DecisionContext& ctx) {
+  (void)action;
+  (void)ctx;
+}
+
+std::string Scheduler::last_thought() const { return {}; }
+
+void Scheduler::reset() {}
+
+}  // namespace reasched::sim

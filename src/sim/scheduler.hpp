@@ -1,0 +1,63 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/action.hpp"
+#include "sim/cluster.hpp"
+#include "sim/job.hpp"
+#include "sim/schedule_result.hpp"
+
+namespace reasched::sim {
+
+/// Everything a scheduling policy may observe at a decision point. This is
+/// the structured form of the paper's prompt state (system capacity, current
+/// time, available resources, running / completed / waiting jobs).
+struct DecisionContext {
+  double now = 0.0;
+  const ClusterState& cluster;
+  /// Jobs submitted, eligible (dependencies met) and not yet started,
+  /// in arrival order.
+  const std::vector<Job>& waiting;
+  /// Submitted but ineligible jobs (unmet dependencies); shown separately
+  /// so the prompt can explain why they cannot run.
+  const std::vector<Job>& ineligible;
+  const std::vector<ClusterState::Allocation>& running;
+  const std::vector<CompletedJob>& completed;
+  /// True while future arrival events exist - Stop is illegal until false.
+  bool arrivals_pending = false;
+  /// Total jobs in this experiment instance.
+  std::size_t total_jobs = 0;
+};
+
+/// Common interface implemented by every method the paper compares:
+/// FCFS, SJF, EASY backfilling, the OR-Tools-like optimizer, and the
+/// ReAct LLM agent. The engine owns the decision loop; schedulers only
+/// answer "what single action now?".
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Propose exactly one action for the current state.
+  virtual Action decide(const DecisionContext& ctx) = 0;
+
+  /// Natural-language feedback after the engine rejected the last action
+  /// (paper Section 2.4). Baselines ignore it; the ReAct agent appends it
+  /// to its scratchpad.
+  virtual void on_feedback(const std::string& feedback, const DecisionContext& ctx);
+
+  /// Notification that an action was accepted (lets planners advance).
+  virtual void on_accepted(const Action& action, const DecisionContext& ctx);
+
+  /// Free-form reasoning behind the most recent decide(); empty for
+  /// non-reasoning schedulers. Recorded into DecisionRecord::thought.
+  virtual std::string last_thought() const;
+
+  /// Stable display name ("FCFS", "Claude 3.7", ...).
+  virtual std::string name() const = 0;
+
+  /// Reset all internal state so the instance can run a fresh simulation.
+  virtual void reset();
+};
+
+}  // namespace reasched::sim

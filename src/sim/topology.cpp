@@ -1,0 +1,180 @@
+#include "sim/topology.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace reasched::sim {
+
+TopologySpec TopologySpec::for_cluster(const ClusterSpec& cluster, int racks) {
+  TopologySpec spec;
+  spec.racks = racks;
+  spec.nodes_per_rack = (cluster.total_nodes + racks - 1) / racks;
+  return spec;
+}
+
+const char* to_string(PlacementStrategy s) {
+  switch (s) {
+    case PlacementStrategy::kFirstFit: return "first-fit";
+    case PlacementStrategy::kContiguousBestFit: return "contiguous-best-fit";
+  }
+  return "?";
+}
+
+namespace {
+
+class NodeMap {
+ public:
+  explicit NodeMap(const TopologySpec& spec)
+      : spec_(spec), free_(static_cast<std::size_t>(spec.total_nodes()), true) {}
+
+  int rack_of(int node) const { return node / spec_.nodes_per_rack; }
+
+  std::vector<int> allocate(int count, PlacementStrategy strategy) {
+    std::vector<int> nodes;
+    nodes.reserve(count);
+    if (strategy == PlacementStrategy::kFirstFit) {
+      for (int n = 0; n < spec_.total_nodes() && static_cast<int>(nodes.size()) < count;
+           ++n) {
+        if (free_[n]) nodes.push_back(n);
+      }
+    } else {
+      // Contiguous best-fit: repeatedly grab the free run whose length is
+      // the tightest fit for the remainder (prefer exact or slightly larger
+      // runs; fall back to the largest available).
+      int remaining = count;
+      while (remaining > 0) {
+        const auto [start, len] = best_run(remaining);
+        if (len == 0) break;  // no free nodes left
+        const int take = std::min(remaining, len);
+        for (int n = start; n < start + take; ++n) nodes.push_back(n);
+        // Mark temporarily so the next best_run sees them in use.
+        for (int n = start; n < start + take; ++n) free_[n] = false;
+        remaining -= take;
+      }
+      // Restore; the caller commits below.
+      for (const int n : nodes) free_[n] = true;
+      std::sort(nodes.begin(), nodes.end());
+    }
+    if (static_cast<int>(nodes.size()) < count) {
+      throw std::logic_error("NodeMap: insufficient free nodes (schedule/topology mismatch)");
+    }
+    for (const int n : nodes) free_[n] = false;
+    return nodes;
+  }
+
+  void release(const std::vector<int>& nodes) {
+    for (const int n : nodes) free_[n] = true;
+  }
+
+  /// Racks that are partially (but not fully) occupied right now.
+  int fragmented_racks() const {
+    int fragmented = 0;
+    for (int r = 0; r < spec_.racks; ++r) {
+      int used = 0;
+      for (int n = r * spec_.nodes_per_rack;
+           n < (r + 1) * spec_.nodes_per_rack && n < spec_.total_nodes(); ++n) {
+        used += free_[n] ? 0 : 1;
+      }
+      if (used > 0 && used < spec_.nodes_per_rack) ++fragmented;
+    }
+    return fragmented;
+  }
+
+ private:
+  /// Tightest free run able to host `want` nodes; when none is big enough,
+  /// the longest run. Returns {start, length}, length 0 when nothing free.
+  std::pair<int, int> best_run(int want) const {
+    int best_start = 0, best_len = 0;
+    int fit_start = -1, fit_len = spec_.total_nodes() + 1;
+    int run_start = -1;
+    for (int n = 0; n <= spec_.total_nodes(); ++n) {
+      const bool is_free = n < spec_.total_nodes() && free_[n];
+      if (is_free && run_start < 0) run_start = n;
+      if (!is_free && run_start >= 0) {
+        const int len = n - run_start;
+        if (len > best_len) {
+          best_len = len;
+          best_start = run_start;
+        }
+        if (len >= want && len < fit_len) {
+          fit_len = len;
+          fit_start = run_start;
+        }
+        run_start = -1;
+      }
+    }
+    if (fit_start >= 0) return {fit_start, fit_len};
+    return {best_start, best_len};
+  }
+
+  TopologySpec spec_;
+  std::vector<bool> free_;
+};
+
+}  // namespace
+
+TopologyReport analyze_topology(const ScheduleResult& result, const TopologySpec& spec,
+                                PlacementStrategy strategy) {
+  // Event replay: releases before allocations at equal times (same rule as
+  // the engine's event queue).
+  struct Event {
+    double time;
+    bool is_start;
+    const CompletedJob* job;
+  };
+  std::vector<Event> events;
+  events.reserve(result.completed.size() * 2);
+  for (const auto& c : result.completed) {
+    events.push_back({c.start_time, true, &c});
+    events.push_back({c.end_time, false, &c});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.is_start != b.is_start) return !a.is_start;  // completions first
+    return a.job->job.id < b.job->job.id;
+  });
+
+  NodeMap node_map(spec);
+  std::map<JobId, std::vector<int>> live;
+  TopologyReport report;
+  double weighted_racks = 0.0, total_nodes = 0.0;
+  std::size_t single_rack = 0, single_rack_eligible = 0;
+
+  for (const auto& e : events) {
+    if (!e.is_start) {
+      const auto it = live.find(e.job->job.id);
+      if (it != live.end()) {
+        node_map.release(it->second);
+        live.erase(it);
+      }
+      continue;
+    }
+    Placement placement;
+    placement.job = e.job->job.id;
+    placement.nodes = node_map.allocate(e.job->job.nodes, strategy);
+    std::set<int> racks;
+    for (const int n : placement.nodes) racks.insert(node_map.rack_of(n));
+    placement.racks_spanned = static_cast<int>(racks.size());
+
+    weighted_racks += static_cast<double>(placement.racks_spanned) * e.job->job.nodes;
+    total_nodes += e.job->job.nodes;
+    if (e.job->job.nodes <= spec.nodes_per_rack) {
+      ++single_rack_eligible;
+      if (placement.racks_spanned == 1) ++single_rack;
+    }
+    report.peak_fragmented_racks =
+        std::max(report.peak_fragmented_racks, node_map.fragmented_racks());
+    live.emplace(placement.job, placement.nodes);
+    report.placements.push_back(std::move(placement));
+  }
+
+  if (total_nodes > 0.0) report.mean_racks_spanned = weighted_racks / total_nodes;
+  if (single_rack_eligible > 0) {
+    report.single_rack_fraction =
+        static_cast<double>(single_rack) / static_cast<double>(single_rack_eligible);
+  }
+  return report;
+}
+
+}  // namespace reasched::sim

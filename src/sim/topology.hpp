@@ -1,0 +1,61 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/schedule_result.hpp"
+
+namespace reasched::sim {
+
+/// Topology-aware placement analysis - the paper's named future-work item
+/// ("topology-aware placement left for future work", Section 3.3). The
+/// scheduler layer decides *when* jobs run; this module replays a finished
+/// schedule onto a rack-structured node map to measure *where* they would
+/// land and how fragmented each placement is under a given allocation
+/// strategy. It answers: which scheduling policy produces schedules that
+/// are easier to place compactly?
+struct TopologySpec {
+  int racks = 8;
+  int nodes_per_rack = 32;  ///< 8 x 32 = the paper's 256-node partition
+
+  int total_nodes() const { return racks * nodes_per_rack; }
+  static TopologySpec for_cluster(const ClusterSpec& cluster, int racks = 8);
+};
+
+enum class PlacementStrategy {
+  kFirstFit,           ///< lowest-numbered free nodes, ignores rack boundaries
+  kContiguousBestFit,  ///< prefer filling whole racks / large contiguous runs
+};
+
+/// Node assignment of one job in the replayed placement.
+struct Placement {
+  JobId job = 0;
+  std::vector<int> nodes;  ///< node ids, ascending
+  int racks_spanned = 0;
+};
+
+/// Locality metrics over the whole schedule.
+struct TopologyReport {
+  std::vector<Placement> placements;
+  /// Mean racks spanned per job, weighted by nodes (1.0 = perfectly local).
+  double mean_racks_spanned = 0.0;
+  /// Fraction of jobs confined to a single rack (among multi-node jobs that
+  /// fit in one rack).
+  double single_rack_fraction = 0.0;
+  /// Peak number of distinct racks with mixed (partial) occupancy at any
+  /// event - a fragmentation indicator.
+  int peak_fragmented_racks = 0;
+};
+
+/// Replay a schedule's start/end events in time order, assigning concrete
+/// node ids with the given strategy. Throws std::logic_error if the
+/// schedule ever needs more nodes than the topology has (cannot happen for
+/// results produced against the matching cluster).
+TopologyReport analyze_topology(const ScheduleResult& result, const TopologySpec& spec,
+                                PlacementStrategy strategy);
+
+const char* to_string(PlacementStrategy s);
+
+}  // namespace reasched::sim

@@ -1,0 +1,46 @@
+#include "util/cli.hpp"
+
+#include "util/string_utils.hpp"
+
+namespace reasched::util {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::string body = arg.substr(2);
+      const auto eq = body.find('=');
+      if (eq != std::string::npos) {
+        named_[body.substr(0, eq)] = body.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        named_[body] = argv[++i];
+      } else {
+        named_[body] = "true";
+      }
+    } else {
+      positional_.push_back(arg);
+    }
+  }
+}
+
+bool CliArgs::has(const std::string& name) const { return named_.count(name) != 0; }
+
+std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
+  const auto it = named_.find(name);
+  return it == named_.end() ? fallback : it->second;
+}
+
+long long CliArgs::get_int(const std::string& name, long long fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return fallback;
+  return parse_int(it->second).value_or(fallback);
+}
+
+double CliArgs::get_double(const std::string& name, double fallback) const {
+  const auto it = named_.find(name);
+  if (it == named_.end()) return fallback;
+  return parse_double(it->second).value_or(fallback);
+}
+
+}  // namespace reasched::util

@@ -1,0 +1,129 @@
+#include "util/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace reasched::util {
+
+namespace {
+
+std::vector<std::string> parse_csv_line(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else if (c != '\r') {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace
+
+CsvTable::CsvTable(std::vector<std::string> header) : header_(std::move(header)) {
+  for (std::size_t i = 0; i < header_.size(); ++i) index_[header_[i]] = i;
+}
+
+void CsvTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument("CsvTable::add_row: width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+const std::string& CsvTable::cell(std::size_t row, std::string_view col) const {
+  return rows_.at(row).at(col_index(col));
+}
+
+std::size_t CsvTable::col_index(std::string_view col) const {
+  const auto it = index_.find(col);
+  if (it == index_.end()) throw std::out_of_range("CsvTable: unknown column " + std::string(col));
+  return it->second;
+}
+
+bool CsvTable::has_col(std::string_view col) const { return index_.find(col) != index_.end(); }
+
+std::string csv_escape(std::string_view field) {
+  const bool needs_quotes = field.find_first_of(",\"\n") != std::string_view::npos;
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvTable::to_string() const {
+  std::ostringstream os;
+  auto emit = [&os](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i != 0) os << ',';
+      os << csv_escape(row[i]);
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+void CsvTable::save(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("CsvTable::save: cannot open " + path);
+  f << to_string();
+}
+
+CsvTable CsvTable::parse(std::string_view text) {
+  CsvTable t;
+  std::size_t start = 0;
+  bool first = true;
+  // Note: does not support embedded newlines inside quoted fields; trace
+  // files never contain them.
+  for (std::size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      std::string_view line = text.substr(start, i - start);
+      start = i + 1;
+      if (line.empty() || (line.size() == 1 && line[0] == '\r')) continue;
+      auto fields = parse_csv_line(line);
+      if (first) {
+        t = CsvTable(std::move(fields));
+        first = false;
+      } else {
+        t.add_row(std::move(fields));
+      }
+    }
+  }
+  return t;
+}
+
+CsvTable CsvTable::load(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw std::runtime_error("CsvTable::load: cannot open " + path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return parse(ss.str());
+}
+
+}  // namespace reasched::util

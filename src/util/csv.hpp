@@ -1,0 +1,46 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reasched::util {
+
+/// Minimal RFC-4180-ish CSV support: quoted fields, embedded commas/quotes,
+/// header row. Enough for trace files (Polaris logs) and result exports.
+class CsvTable {
+ public:
+  CsvTable() = default;
+  explicit CsvTable(std::vector<std::string> header);
+
+  const std::vector<std::string>& header() const { return header_; }
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return header_.size(); }
+
+  /// Append a row; must match header width when a header is present.
+  void add_row(std::vector<std::string> row);
+
+  const std::vector<std::string>& row(std::size_t i) const { return rows_.at(i); }
+
+  /// Cell access by column name; throws std::out_of_range on unknown column.
+  const std::string& cell(std::size_t row, std::string_view col) const;
+  std::size_t col_index(std::string_view col) const;
+  bool has_col(std::string_view col) const;
+
+  std::string to_string() const;
+  void save(const std::string& path) const;
+
+  static CsvTable parse(std::string_view text);
+  static CsvTable load(const std::string& path);
+
+ private:
+  std::vector<std::string> header_;
+  std::map<std::string, std::size_t, std::less<>> index_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Quote a single field if needed.
+std::string csv_escape(std::string_view field);
+
+}  // namespace reasched::util

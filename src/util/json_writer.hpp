@@ -1,0 +1,51 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace reasched::util {
+
+/// Append-only JSON emitter for result files. Supports objects, arrays,
+/// strings, numbers and booleans; guarantees syntactically valid output as
+/// long as begin/end calls are balanced (checked with asserts in debug).
+class JsonWriter {
+ public:
+  JsonWriter();
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Key inside an object; must be followed by a value or container.
+  JsonWriter& key(const std::string& k);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long long v);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(std::size_t v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// Shorthand: key + value.
+  template <typename T>
+  JsonWriter& kv(const std::string& k, const T& v) {
+    key(k);
+    return value(v);
+  }
+
+  const std::string& str() const { return out_; }
+  void save(const std::string& path) const;
+
+  static std::string escape(const std::string& s);
+
+ private:
+  void before_value();
+  std::string out_;
+  std::vector<bool> needs_comma_;  // stack; one entry per open container
+  bool after_key_ = false;
+};
+
+}  // namespace reasched::util

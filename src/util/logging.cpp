@@ -1,0 +1,39 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+
+namespace reasched::util {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::set_level(LogLevel level) {
+  std::lock_guard lock(mu_);
+  level_ = level;
+}
+
+LogLevel Logger::level() const {
+  std::lock_guard lock(mu_);
+  return level_;
+}
+
+void Logger::log(LogLevel level, const std::string& msg) {
+  std::lock_guard lock(mu_);
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace reasched::util

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace reasched::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Process-wide, thread-safe logger. Kept intentionally tiny: levels, a
+/// global threshold, and line-buffered stderr output. The simulator logs at
+/// debug level; benches default to info.
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level);
+  LogLevel level() const;
+
+  void log(LogLevel level, const std::string& msg);
+
+ private:
+  Logger() = default;
+  mutable std::mutex mu_;
+  LogLevel level_ = LogLevel::kWarn;
+};
+
+const char* level_name(LogLevel level);
+
+#define REASCHED_LOG(lvl_, expr_)                                                     \
+  do {                                                                                \
+    if (static_cast<int>(lvl_) >=                                                     \
+        static_cast<int>(::reasched::util::Logger::instance().level())) {             \
+      std::ostringstream reasched_log_os_;                                            \
+      reasched_log_os_ << expr_;                                                      \
+      ::reasched::util::Logger::instance().log(lvl_, reasched_log_os_.str());         \
+    }                                                                                 \
+  } while (0)
+
+#define LOG_DEBUG(expr) REASCHED_LOG(::reasched::util::LogLevel::kDebug, expr)
+#define LOG_INFO(expr) REASCHED_LOG(::reasched::util::LogLevel::kInfo, expr)
+#define LOG_WARN(expr) REASCHED_LOG(::reasched::util::LogLevel::kWarn, expr)
+#define LOG_ERROR(expr) REASCHED_LOG(::reasched::util::LogLevel::kError, expr)
+
+}  // namespace reasched::util

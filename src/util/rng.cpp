@@ -1,0 +1,85 @@
+#include "util/rng.hpp"
+
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+namespace reasched::util {
+
+Rng::Rng(std::uint64_t seed) : engine_(splitmix64(seed ^ 0x9e3779b97f4a7c15ULL)) {}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_int: lo > hi");
+  std::uniform_int_distribution<std::int64_t> d(lo, hi);
+  return d(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("uniform_real: lo > hi");
+  std::uniform_real_distribution<double> d(lo, hi);
+  return d(engine_);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  std::bernoulli_distribution d(p);
+  return d(engine_);
+}
+
+double Rng::gamma(double shape, double scale) {
+  if (shape <= 0.0 || scale <= 0.0) throw std::invalid_argument("gamma: non-positive parameter");
+  std::gamma_distribution<double> d(shape, scale);
+  return d(engine_);
+}
+
+double Rng::exponential(double mean) {
+  if (mean <= 0.0) throw std::invalid_argument("exponential: non-positive mean");
+  std::exponential_distribution<double> d(1.0 / mean);
+  return d(engine_);
+}
+
+double Rng::normal(double mu, double sigma) {
+  std::normal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  std::lognormal_distribution<double> d(mu, sigma);
+  return d(engine_);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  if (total <= 0.0) throw std::invalid_argument("weighted_index: no positive weight");
+  double r = uniform_real(0.0, total);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0.0) return i;
+  }
+  return weights.size() - 1;  // numeric edge: r consumed by rounding
+}
+
+std::uint64_t Rng::next_u64() { return engine_(); }
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_str(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::string_view label, std::uint64_t index) {
+  return splitmix64(parent ^ splitmix64(hash_str(label) + 0x9e3779b97f4a7c15ULL * (index + 1)));
+}
+
+}  // namespace reasched::util

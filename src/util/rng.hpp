@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+#include <vector>
+
+namespace reasched::util {
+
+/// Deterministic pseudo-random source used by every stochastic component in
+/// the library (workload generation, simulated-annealing moves, LLM decision
+/// noise, latency sampling).
+///
+/// Seeds are derived hierarchically with `derive()` so that each experiment
+/// cell (scenario x scheduler x size x repetition) owns an independent,
+/// reproducible stream regardless of thread scheduling in the harness.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi). Requires lo <= hi.
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool bernoulli(double p);
+
+  /// Gamma(shape k, scale theta); the paper's Heterogeneous Mix walltimes
+  /// use shape=1.5, scale=300.
+  double gamma(double shape, double scale);
+
+  /// Exponential with given mean (= 1/lambda); used for Poisson interarrivals.
+  double exponential(double mean);
+
+  /// Normal(mu, sigma).
+  double normal(double mu, double sigma);
+
+  /// Log-normal parameterized by the *underlying* normal (mu, sigma).
+  double lognormal(double mu, double sigma);
+
+  /// Index in [0, weights.size()) drawn proportionally to `weights`.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Raw 64-bit draw, exposed for hashing/testing.
+  std::uint64_t next_u64();
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+/// SplitMix64 step; the standard seed-spreading function.
+std::uint64_t splitmix64(std::uint64_t x);
+
+/// FNV-1a hash of a string, for deriving stream names.
+std::uint64_t hash_str(std::string_view s);
+
+/// Derive a child seed from (parent seed, label, index). Stable across
+/// platforms; used to give every experiment cell an independent stream.
+std::uint64_t derive_seed(std::uint64_t parent, std::string_view label, std::uint64_t index = 0);
+
+}  // namespace reasched::util

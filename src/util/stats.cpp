@@ -1,0 +1,102 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace reasched::util {
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  return std::accumulate(xs.begin(), xs.end(), 0.0) / static_cast<double>(xs.size());
+}
+
+double variance(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(const std::vector<double>& xs) { return std::sqrt(variance(xs)); }
+
+double min_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(const std::vector<double>& xs) {
+  return xs.empty() ? 0.0 : *std::max_element(xs.begin(), xs.end());
+}
+
+double sum(const std::vector<double>& xs) { return std::accumulate(xs.begin(), xs.end(), 0.0); }
+
+double quantile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
+
+BoxStats box_stats(std::vector<double> xs) {
+  BoxStats b;
+  b.n = xs.size();
+  if (xs.empty()) return b;
+  std::sort(xs.begin(), xs.end());
+  b.min = xs.front();
+  b.max = xs.back();
+  b.mean = mean(xs);
+  b.q1 = quantile(xs, 0.25);
+  b.median = quantile(xs, 0.5);
+  b.q3 = quantile(xs, 0.75);
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+  b.whisker_lo = b.max;  // tightened below
+  b.whisker_hi = b.min;
+  for (const double x : xs) {
+    if (x < lo_fence || x > hi_fence) {
+      b.outliers.push_back(x);
+    } else {
+      b.whisker_lo = std::min(b.whisker_lo, x);
+      b.whisker_hi = std::max(b.whisker_hi, x);
+    }
+  }
+  if (b.outliers.size() == xs.size()) {  // degenerate: everything outlying
+    b.whisker_lo = b.min;
+    b.whisker_hi = b.max;
+  }
+  return b;
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& xs, double lo, double hi,
+                                   std::size_t bins) {
+  std::vector<std::size_t> h(bins, 0);
+  if (bins == 0 || hi <= lo) return h;
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (const double x : xs) {
+    auto idx = static_cast<std::ptrdiff_t>((x - lo) / width);
+    idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(bins) - 1);
+    ++h[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0, s2 = 0.0;
+  for (const double x : xs) {
+    s += x;
+    s2 += x * x;
+  }
+  if (s2 == 0.0) return 1.0;  // all-zero: perfectly equal by convention
+  return (s * s) / (static_cast<double>(xs.size()) * s2);
+}
+
+}  // namespace reasched::util

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace reasched::util {
+
+/// ASCII table renderer used by every figure bench to print the paper-style
+/// rows/series. Numeric cells are right-aligned, text left-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Insert a horizontal rule before the next row.
+  void add_rule();
+
+  std::string render() const;
+
+  /// Convenience formatting for numeric cells.
+  static std::string num(double v, int precision = 3);
+  static std::string ratio(double v);           ///< "1.234x"
+  static std::string pct(double v);             ///< "12.3%"
+  static std::string na();                      ///< "n/a" (e.g. 0/0 normalization)
+
+ private:
+  std::vector<std::string> header_;
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace reasched::util

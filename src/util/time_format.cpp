@@ -1,0 +1,29 @@
+#include "util/time_format.hpp"
+
+#include <cmath>
+
+#include "util/string_utils.hpp"
+
+namespace reasched::util {
+
+std::string format_duration(double seconds) {
+  if (seconds < 0) {
+    std::string out = "-";
+    out += format_duration(-seconds);
+    return out;
+  }
+  if (seconds < 60.0) return format("%.1fs", seconds);
+  const auto total = static_cast<long long>(seconds);
+  const long long h = total / 3600;
+  const long long m = (total % 3600) / 60;
+  const double s = seconds - static_cast<double>(h * 3600 + m * 60);
+  if (h > 0) return format("%lldh %lldm %.0fs", h, m, s);
+  return format("%lldm %.1fs", m, s);
+}
+
+std::string format_sim_time(double t) {
+  if (t == std::floor(t)) return format("[t=%.0f]", t);
+  return format("[t=%.2f]", t);
+}
+
+}  // namespace reasched::util

@@ -1,0 +1,14 @@
+#pragma once
+
+#include <string>
+
+namespace reasched::util {
+
+/// "3661.5" seconds -> "1h 1m 1.5s"; compact human formatting used by the
+/// overhead benches (Figs. 5-6 report elapsed times up to hours).
+std::string format_duration(double seconds);
+
+/// Simulation timestamps as "[t=1554]" exactly as the paper's feedback lines.
+std::string format_sim_time(double t);
+
+}  // namespace reasched::util

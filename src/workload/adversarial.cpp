@@ -1,0 +1,33 @@
+#include "workload/scenarios.hpp"
+
+#include <algorithm>
+
+namespace reasched::workload {
+
+sim::Job AdversarialGenerator::make_job(sim::JobId id, util::Rng& rng) const {
+  // All jobs are small; post_process() turns the first into the blocker.
+  sim::Job j;
+  j.id = id;
+  j.duration = 60.0 * rng.uniform_real(0.95, 1.05);
+  j.walltime = j.duration;
+  j.nodes = 1;
+  j.memory_gb = rng.uniform_real(1.0, 4.0);
+  return j;
+}
+
+void AdversarialGenerator::post_process(std::vector<sim::Job>& jobs, util::Rng& rng) const {
+  (void)rng;
+  if (jobs.empty()) return;
+  // The convoy trap (Section 3.1): one large blocking job submitted first
+  // (128 nodes, 100,000 s), then many 1-node jobs right behind it.
+  auto first = std::min_element(jobs.begin(), jobs.end(),
+                                [](const sim::Job& a, const sim::Job& b) {
+                                  return sim::arrival_order(a, b);
+                                });
+  first->nodes = 128;
+  first->memory_gb = 512.0;
+  first->duration = 100000.0;
+  first->walltime = first->duration;
+}
+
+}  // namespace reasched::workload

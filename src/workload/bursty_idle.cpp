@@ -1,0 +1,32 @@
+#include "workload/scenarios.hpp"
+
+#include "workload/arrival.hpp"
+
+namespace reasched::workload {
+
+sim::Job BurstyIdleGenerator::make_job(sim::JobId id, util::Rng& rng) const {
+  sim::Job j;
+  j.id = id;
+  // Alternate between short interactive-style jobs and long-running jobs
+  // with modest per-job demands (Section 3.1). Demands are sized so a burst
+  // collectively oversubscribes the 256-node partition - the volatility
+  // that differentiates schedulers in this scenario.
+  if (rng.bernoulli(0.6)) {
+    j.duration = rng.uniform_real(60.0, 240.0);
+  } else {
+    j.duration = rng.uniform_real(1800.0, 7200.0);
+  }
+  j.walltime = j.duration;
+  j.nodes = static_cast<int>(rng.uniform_int(8, 48));
+  j.memory_gb = rng.uniform_real(16.0, 128.0);
+  return j;
+}
+
+void BurstyIdleGenerator::assign_arrivals(std::vector<sim::Job>& jobs, util::Rng& rng) const {
+  // Bursts of ~16 jobs arriving seconds apart (together demanding ~2x the
+  // node capacity), separated by long idle gaps.
+  assign_bursty_arrivals(jobs, /*burst_size=*/16, /*within_burst=*/5.0,
+                         /*idle_gap=*/1800.0, rng);
+}
+
+}  // namespace reasched::workload

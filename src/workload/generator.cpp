@@ -1,0 +1,76 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "workload/arrival.hpp"
+#include "workload/scenarios.hpp"
+
+namespace reasched::workload {
+
+std::vector<sim::Job> WorkloadGenerator::generate(std::size_t n, std::uint64_t seed,
+                                                  const GenerateOptions& options) const {
+  if (options.walltime_factor_min > options.walltime_factor_max ||
+      options.walltime_factor_min < 1.0) {
+    throw std::invalid_argument("GenerateOptions: walltime factors need 1 <= min <= max");
+  }
+  util::Rng rng(util::derive_seed(seed, name()));
+  // Walltime noise draws from its own derived stream so the base workload
+  // (resources, durations, users, arrivals) is bit-identical across noise
+  // settings - estimate-noise experiments stay paired.
+  util::Rng noise_rng(util::derive_seed(seed, name(), /*index=*/0x57a11));
+  std::vector<sim::Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim::Job job = make_job(static_cast<sim::JobId>(i + 1), rng);
+    job.id = static_cast<sim::JobId>(i + 1);
+    // Clamp to cluster capacity so every job is schedulable in principle.
+    job.nodes = std::clamp(job.nodes, 1, options.cluster.total_nodes);
+    job.memory_gb = std::clamp(job.memory_gb, 0.5, options.cluster.total_memory_gb);
+    job.duration = std::max(1.0, job.duration);
+    if (job.walltime <= 0.0) job.walltime = job.duration;
+    if (options.walltime_factor_max > 1.0) {
+      job.walltime = job.duration * noise_rng.uniform_real(options.walltime_factor_min,
+                                                           options.walltime_factor_max);
+    }
+    jobs.push_back(job);
+  }
+  assign_users(jobs, user_model_, rng);
+  if (options.arrival_mode == ArrivalMode::kPoisson) {
+    assign_arrivals(jobs, rng);
+  } else {
+    assign_static_arrivals(jobs);
+  }
+  post_process(jobs, rng);
+  std::sort(jobs.begin(), jobs.end(), sim::arrival_order);
+  return jobs;
+}
+
+void WorkloadGenerator::assign_arrivals(std::vector<sim::Job>& jobs, util::Rng& rng) const {
+  assign_poisson_arrivals(jobs, mean_interarrival_seconds(scenario()), rng);
+}
+
+void WorkloadGenerator::post_process(std::vector<sim::Job>& jobs, util::Rng& rng) const {
+  (void)jobs;
+  (void)rng;
+}
+
+std::unique_ptr<WorkloadGenerator> make_generator(Scenario s) {
+  switch (s) {
+    case Scenario::kHomogeneousShort: return std::make_unique<HomogeneousShortGenerator>();
+    case Scenario::kHeterogeneousMix: return std::make_unique<HeterogeneousMixGenerator>();
+    case Scenario::kLongJobDominant: return std::make_unique<LongJobDominantGenerator>();
+    case Scenario::kHighParallelism: return std::make_unique<HighParallelismGenerator>();
+    case Scenario::kResourceSparse: return std::make_unique<ResourceSparseGenerator>();
+    case Scenario::kBurstyIdle: return std::make_unique<BurstyIdleGenerator>();
+    case Scenario::kAdversarial: return std::make_unique<AdversarialGenerator>();
+  }
+  throw std::invalid_argument("make_generator: unknown scenario");
+}
+
+const std::vector<std::size_t>& paper_job_counts() {
+  static const std::vector<std::size_t> v = {10, 20, 40, 60, 80, 100};
+  return v;
+}
+
+}  // namespace reasched::workload

@@ -1,0 +1,83 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/cluster.hpp"
+#include "sim/job.hpp"
+#include "util/rng.hpp"
+#include "workload/scenario.hpp"
+#include "workload/users.hpp"
+
+namespace reasched::workload {
+
+/// How submit times are assigned (Section 3.1 vs Section 3.3).
+enum class ArrivalMode {
+  kPoisson,  ///< dynamic arrivals, scenario-specific rate (scenario studies)
+  kStatic,   ///< all jobs at t=0 (the static formulation in 3.3)
+};
+
+/// Full generation knobs (the four-argument generate() overload covers the
+/// common cases).
+struct GenerateOptions {
+  ArrivalMode arrival_mode = ArrivalMode::kPoisson;
+  sim::ClusterSpec cluster = sim::ClusterSpec::paper_default();
+  /// Walltime-estimate noise: users over-request walltime by a factor drawn
+  /// uniformly from [min, max] of the true runtime. 1.0/1.0 keeps estimates
+  /// exact (the paper's setup); >1 models the estimate unreliability that
+  /// runtime-prediction literature (cited in the paper's related work)
+  /// studies - it degrades walltime-driven schedulers (SJF, EASY).
+  double walltime_factor_min = 1.0;
+  double walltime_factor_max = 1.0;
+};
+
+/// Base class for the seven scenario-driven workload generators. A generator
+/// produces the per-job resource/runtime draws; arrival assignment and user
+/// metadata are shared across scenarios.
+class WorkloadGenerator {
+ public:
+  virtual ~WorkloadGenerator() = default;
+
+  virtual Scenario scenario() const = 0;
+  std::string name() const { return to_string(scenario()); }
+
+  /// Generate `n` jobs (ids 1..n) for the given seed. Deterministic:
+  /// identical (n, seed, options) always yields identical jobs. All jobs are
+  /// guaranteed to fit the given cluster.
+  std::vector<sim::Job> generate(std::size_t n, std::uint64_t seed,
+                                 const GenerateOptions& options) const;
+
+  std::vector<sim::Job> generate(std::size_t n, std::uint64_t seed,
+                                 ArrivalMode mode = ArrivalMode::kPoisson,
+                                 const sim::ClusterSpec& cluster = sim::ClusterSpec::paper_default()) const {
+    GenerateOptions options;
+    options.arrival_mode = mode;
+    options.cluster = cluster;
+    return generate(n, seed, options);
+  }
+
+  const UserModel& user_model() const { return user_model_; }
+
+ protected:
+  /// Draw runtime / nodes / memory for one job (id and metadata are filled
+  /// in by generate()).
+  virtual sim::Job make_job(sim::JobId id, util::Rng& rng) const = 0;
+
+  /// Scenario hook for arrival assignment; default is the Poisson process
+  /// with the scenario's mean interarrival.
+  virtual void assign_arrivals(std::vector<sim::Job>& jobs, util::Rng& rng) const;
+
+  /// Scenario hook applied after generation (e.g. Adversarial forces the
+  /// blocking job first).
+  virtual void post_process(std::vector<sim::Job>& jobs, util::Rng& rng) const;
+
+  UserModel user_model_;
+};
+
+/// Factory over all seven scenarios.
+std::unique_ptr<WorkloadGenerator> make_generator(Scenario s);
+
+/// The paper's queue-size sweep [10, 20, 40, 60, 80, 100] (Section 3.1).
+const std::vector<std::size_t>& paper_job_counts();
+
+}  // namespace reasched::workload

@@ -1,0 +1,23 @@
+#include "workload/scenarios.hpp"
+
+namespace reasched::workload {
+
+sim::Job HeterogeneousMixGenerator::make_job(sim::JobId id, util::Rng& rng) const {
+  sim::Job j;
+  j.id = id;
+  // Paper Section 3.1: runtimes ~ Gamma(shape=1.5, scale=300) seconds.
+  j.duration = std::max(10.0, rng.gamma(1.5, 300.0));
+  j.walltime = j.duration;
+  // Node demand mixes serial, small-parallel and wide jobs - power-of-two
+  // biased, with enough wide jobs that head-of-line blocking fragments FCFS
+  // (the contention that differentiates schedulers at scale, Section 3.6).
+  static const int kNodeChoices[] = {1, 2, 4, 8, 16, 32, 64, 128, 256};
+  static const std::vector<double> kNodeWeights = {16, 15, 13, 12, 12, 11, 9, 7, 5};
+  j.nodes = kNodeChoices[rng.weighted_index(kNodeWeights)];
+  // Memory loosely correlated with nodes: between 1 and 8 GB per node.
+  const double per_node_gb = rng.uniform_real(1.0, 8.0);
+  j.memory_gb = std::min(2048.0, static_cast<double>(j.nodes) * per_node_gb);
+  return j;
+}
+
+}  // namespace reasched::workload

@@ -1,0 +1,19 @@
+#include "workload/scenarios.hpp"
+
+namespace reasched::workload {
+
+sim::Job HighParallelismGenerator::make_job(sim::JobId id, util::Rng& rng) const {
+  sim::Job j;
+  j.id = id;
+  // Tightly-coupled simulations: 64-256 nodes, Gamma walltime (Section 3.1).
+  static const int kNodeChoices[] = {64, 96, 128, 192, 256};
+  static const std::vector<double> kNodeWeights = {30, 20, 25, 10, 15};
+  j.nodes = kNodeChoices[rng.weighted_index(kNodeWeights)];
+  j.duration = std::max(60.0, rng.gamma(2.0, 400.0));
+  j.walltime = j.duration;
+  // Wide jobs tend to be memory-hungry in aggregate but modest per node.
+  j.memory_gb = std::min(2048.0, static_cast<double>(j.nodes) * rng.uniform_real(1.0, 4.0));
+  return j;
+}
+
+}  // namespace reasched::workload

@@ -1,0 +1,15 @@
+#include "workload/scenarios.hpp"
+
+namespace reasched::workload {
+
+sim::Job HomogeneousShortGenerator::make_job(sim::JobId id, util::Rng& rng) const {
+  sim::Job j;
+  j.id = id;
+  j.duration = rng.uniform_real(30.0, 120.0);
+  j.walltime = j.duration;
+  j.nodes = 2;
+  j.memory_gb = 4.0;
+  return j;
+}
+
+}  // namespace reasched::workload

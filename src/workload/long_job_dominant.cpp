@@ -1,0 +1,23 @@
+#include "workload/scenarios.hpp"
+
+namespace reasched::workload {
+
+sim::Job LongJobDominantGenerator::make_job(sim::JobId id, util::Rng& rng) const {
+  sim::Job j;
+  j.id = id;
+  if (rng.bernoulli(0.2)) {
+    // Extremely long, wide jobs (Section 3.1: 50,000 s on 128 nodes);
+    // +-10% jitter so repetitions are not byte-identical.
+    j.duration = 50000.0 * rng.uniform_real(0.9, 1.1);
+    j.nodes = 128;
+    j.memory_gb = 256.0;
+  } else {
+    j.duration = 500.0 * rng.uniform_real(0.8, 1.2);
+    j.nodes = 2;
+    j.memory_gb = 4.0;
+  }
+  j.walltime = j.duration;
+  return j;
+}
+
+}  // namespace reasched::workload

@@ -1,0 +1,16 @@
+#include "workload/scenarios.hpp"
+
+namespace reasched::workload {
+
+sim::Job ResourceSparseGenerator::make_job(sim::JobId id, util::Rng& rng) const {
+  sim::Job j;
+  j.id = id;
+  // Lightweight: 1 node, <8 GB, 30-300 s (Section 3.1).
+  j.nodes = 1;
+  j.memory_gb = rng.uniform_real(0.5, 8.0);
+  j.duration = rng.uniform_real(30.0, 300.0);
+  j.walltime = j.duration;
+  return j;
+}
+
+}  // namespace reasched::workload

@@ -1,0 +1,93 @@
+#include "workload/scenario.hpp"
+
+#include "util/string_utils.hpp"
+
+namespace reasched::workload {
+
+const std::vector<Scenario>& all_scenarios() {
+  static const std::vector<Scenario> v = {
+      Scenario::kHomogeneousShort, Scenario::kHeterogeneousMix, Scenario::kLongJobDominant,
+      Scenario::kHighParallelism,  Scenario::kResourceSparse,   Scenario::kBurstyIdle,
+      Scenario::kAdversarial,
+  };
+  return v;
+}
+
+const std::vector<Scenario>& figure3_scenarios() {
+  static const std::vector<Scenario> v = {
+      Scenario::kHomogeneousShort, Scenario::kLongJobDominant, Scenario::kHighParallelism,
+      Scenario::kResourceSparse,   Scenario::kBurstyIdle,      Scenario::kAdversarial,
+  };
+  return v;
+}
+
+std::string to_string(Scenario s) {
+  switch (s) {
+    case Scenario::kHomogeneousShort: return "Homogeneous Short";
+    case Scenario::kHeterogeneousMix: return "Heterogeneous Mix";
+    case Scenario::kLongJobDominant: return "Long-Job Dominant";
+    case Scenario::kHighParallelism: return "High Parallelism";
+    case Scenario::kResourceSparse: return "Resource Sparse";
+    case Scenario::kBurstyIdle: return "Bursty + Idle";
+    case Scenario::kAdversarial: return "Adversarial";
+  }
+  return "?";
+}
+
+std::string describe(Scenario s) {
+  switch (s) {
+    case Scenario::kHomogeneousShort:
+      return "uniform 30-120s jobs with 2 nodes / 4 GB; lightweight CI/test workloads";
+    case Scenario::kHeterogeneousMix:
+      return "Gamma(1.5, 300) runtimes with varied resources; realistic production mix";
+    case Scenario::kLongJobDominant:
+      return "20% extremely long jobs (50,000s, 128 nodes) among short jobs (500s, 2 nodes); "
+             "tests convoy-effect handling";
+    case Scenario::kHighParallelism:
+      return "large parallel jobs (64-256 nodes, Gamma walltime); tightly-coupled simulations";
+    case Scenario::kResourceSparse:
+      return "lightweight jobs (1 node, <8 GB, 30-300s); sparse workload efficiency";
+    case Scenario::kBurstyIdle:
+      return "alternating bursts of short and long jobs with modest demands; responsiveness "
+             "under uneven durations";
+    case Scenario::kAdversarial:
+      return "one blocking job (128 nodes, 100,000s) followed by many small jobs (1 node, 60s); "
+             "exposes convoy effects";
+  }
+  return "?";
+}
+
+std::optional<Scenario> scenario_from_string(const std::string& name) {
+  const std::string n = util::to_lower(name);
+  for (const Scenario s : all_scenarios()) {
+    if (util::to_lower(to_string(s)) == n) return s;
+  }
+  // Also accept compact aliases for CLI use.
+  if (n == "homogeneous" || n == "homog-short" || n == "homogeneous_short") {
+    return Scenario::kHomogeneousShort;
+  }
+  if (n == "hetmix" || n == "heterogeneous" || n == "heterogeneous_mix") {
+    return Scenario::kHeterogeneousMix;
+  }
+  if (n == "longjob" || n == "long_job_dominant") return Scenario::kLongJobDominant;
+  if (n == "parallel" || n == "high_parallelism") return Scenario::kHighParallelism;
+  if (n == "sparse" || n == "resource_sparse") return Scenario::kResourceSparse;
+  if (n == "bursty" || n == "bursty_idle") return Scenario::kBurstyIdle;
+  if (n == "adversarial") return Scenario::kAdversarial;
+  return std::nullopt;
+}
+
+double mean_interarrival_seconds(Scenario s) {
+  switch (s) {
+    case Scenario::kHomogeneousShort: return 20.0;
+    case Scenario::kHeterogeneousMix: return 35.0;
+    case Scenario::kLongJobDominant: return 90.0;
+    case Scenario::kHighParallelism: return 150.0;
+    case Scenario::kResourceSparse: return 15.0;
+    case Scenario::kBurstyIdle: return 45.0;  // burst-modulated, see BurstyIdleGenerator
+    case Scenario::kAdversarial: return 5.0;
+  }
+  return 60.0;
+}
+
+}  // namespace reasched::workload

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace reasched::workload {
+
+/// The seven benchmark scenarios of paper Section 3.1, each reflecting a
+/// distinct operational pattern observed in real job traces.
+enum class Scenario {
+  kHomogeneousShort,
+  kHeterogeneousMix,
+  kLongJobDominant,
+  kHighParallelism,
+  kResourceSparse,
+  kBurstyIdle,
+  kAdversarial,
+};
+
+/// All seven, in the paper's presentation order.
+const std::vector<Scenario>& all_scenarios();
+
+/// The six scenarios of Figure 3 (Heterogeneous Mix is covered separately by
+/// the scalability analysis, Section 3.6).
+const std::vector<Scenario>& figure3_scenarios();
+
+std::string to_string(Scenario s);
+std::string describe(Scenario s);
+std::optional<Scenario> scenario_from_string(const std::string& name);
+
+/// Scenario-specific mean interarrival time in seconds (1/lambda of the
+/// Poisson submission process, Section 3.1).
+double mean_interarrival_seconds(Scenario s);
+
+}  // namespace reasched::workload

@@ -1,0 +1,78 @@
+#pragma once
+
+#include "workload/generator.hpp"
+
+namespace reasched::workload {
+
+/// Uniform 30-120 s jobs with 2 nodes / 4 GB: lightweight CI/test workloads.
+class HomogeneousShortGenerator final : public WorkloadGenerator {
+ public:
+  Scenario scenario() const override { return Scenario::kHomogeneousShort; }
+
+ protected:
+  sim::Job make_job(sim::JobId id, util::Rng& rng) const override;
+};
+
+/// Gamma(1.5, 300) runtimes with varied node/memory demands: realistic
+/// production environments. Used by the scalability (Fig. 4), overhead
+/// (Figs. 5-6) and robustness (Fig. 7) analyses.
+class HeterogeneousMixGenerator final : public WorkloadGenerator {
+ public:
+  Scenario scenario() const override { return Scenario::kHeterogeneousMix; }
+
+ protected:
+  sim::Job make_job(sim::JobId id, util::Rng& rng) const override;
+};
+
+/// 20% extremely long jobs (50,000 s, 128 nodes) among short jobs
+/// (500 s, 2 nodes): tests convoy-effect handling.
+class LongJobDominantGenerator final : public WorkloadGenerator {
+ public:
+  Scenario scenario() const override { return Scenario::kLongJobDominant; }
+
+ protected:
+  sim::Job make_job(sim::JobId id, util::Rng& rng) const override;
+};
+
+/// Large parallel jobs (64-256 nodes, Gamma walltime): tightly-coupled
+/// simulations that fragment the node space.
+class HighParallelismGenerator final : public WorkloadGenerator {
+ public:
+  Scenario scenario() const override { return Scenario::kHighParallelism; }
+
+ protected:
+  sim::Job make_job(sim::JobId id, util::Rng& rng) const override;
+};
+
+/// Lightweight jobs (1 node, <8 GB, 30-300 s): sparse workload efficiency.
+class ResourceSparseGenerator final : public WorkloadGenerator {
+ public:
+  Scenario scenario() const override { return Scenario::kResourceSparse; }
+
+ protected:
+  sim::Job make_job(sim::JobId id, util::Rng& rng) const override;
+};
+
+/// Alternating bursts of short jobs and sparse long jobs with modest
+/// demands: responsiveness under uneven durations.
+class BurstyIdleGenerator final : public WorkloadGenerator {
+ public:
+  Scenario scenario() const override { return Scenario::kBurstyIdle; }
+
+ protected:
+  sim::Job make_job(sim::JobId id, util::Rng& rng) const override;
+  void assign_arrivals(std::vector<sim::Job>& jobs, util::Rng& rng) const override;
+};
+
+/// One blocking job (128 nodes, 100,000 s) submitted first, followed by many
+/// small jobs (1 node, 60 s): stress-tests convoy behaviour.
+class AdversarialGenerator final : public WorkloadGenerator {
+ public:
+  Scenario scenario() const override { return Scenario::kAdversarial; }
+
+ protected:
+  sim::Job make_job(sim::JobId id, util::Rng& rng) const override;
+  void post_process(std::vector<sim::Job>& jobs, util::Rng& rng) const override;
+};
+
+}  // namespace reasched::workload

@@ -1,0 +1,73 @@
+#include "workload/trace.hpp"
+
+#include <stdexcept>
+
+#include "util/string_utils.hpp"
+
+namespace reasched::workload {
+
+namespace {
+const std::vector<std::string> kHeader = {
+    "job_id", "user", "group", "submit_time", "duration",
+    "walltime", "nodes", "memory_gb", "dependencies"};
+}
+
+util::CsvTable jobs_to_csv(const std::vector<sim::Job>& jobs) {
+  util::CsvTable t(kHeader);
+  for (const auto& j : jobs) {
+    std::vector<std::string> deps;
+    deps.reserve(j.dependencies.size());
+    for (const auto d : j.dependencies) deps.push_back(std::to_string(d));
+    t.add_row({std::to_string(j.id), std::to_string(j.user), std::to_string(j.group),
+               util::format("%.6f", j.submit_time), util::format("%.6f", j.duration),
+               util::format("%.6f", j.walltime), std::to_string(j.nodes),
+               util::format("%.6f", j.memory_gb), util::join(deps, ";")});
+  }
+  return t;
+}
+
+std::vector<sim::Job> jobs_from_csv(const util::CsvTable& table) {
+  std::vector<sim::Job> jobs;
+  jobs.reserve(table.rows());
+  for (std::size_t i = 0; i < table.rows(); ++i) {
+    sim::Job j;
+    auto req_int = [&](const char* col) {
+      const auto v = util::parse_int(table.cell(i, col));
+      if (!v) throw std::runtime_error(util::format("trace row %zu: bad %s", i, col));
+      return *v;
+    };
+    auto req_double = [&](const char* col) {
+      const auto v = util::parse_double(table.cell(i, col));
+      if (!v) throw std::runtime_error(util::format("trace row %zu: bad %s", i, col));
+      return *v;
+    };
+    j.id = static_cast<sim::JobId>(req_int("job_id"));
+    j.user = static_cast<sim::UserId>(req_int("user"));
+    j.group = static_cast<sim::GroupId>(req_int("group"));
+    j.submit_time = req_double("submit_time");
+    j.duration = req_double("duration");
+    j.walltime = req_double("walltime");
+    j.nodes = static_cast<int>(req_int("nodes"));
+    j.memory_gb = req_double("memory_gb");
+    const std::string deps = table.cell(i, "dependencies");
+    if (!deps.empty()) {
+      for (const auto& part : util::split(deps, ';')) {
+        const auto d = util::parse_int(part);
+        if (!d) throw std::runtime_error(util::format("trace row %zu: bad dependency", i));
+        j.dependencies.push_back(static_cast<sim::JobId>(*d));
+      }
+    }
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+void save_jobs(const std::vector<sim::Job>& jobs, const std::string& path) {
+  jobs_to_csv(jobs).save(path);
+}
+
+std::vector<sim::Job> load_jobs(const std::string& path) {
+  return jobs_from_csv(util::CsvTable::load(path));
+}
+
+}  // namespace reasched::workload

@@ -1,0 +1,21 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/job.hpp"
+#include "util/csv.hpp"
+
+namespace reasched::workload {
+
+/// Serialization of the library's internal job format to/from CSV, so
+/// workloads can be saved, inspected, and replayed byte-identically.
+/// Columns: job_id,user,group,submit_time,duration,walltime,nodes,
+/// memory_gb,dependencies (';'-separated ids, may be empty).
+util::CsvTable jobs_to_csv(const std::vector<sim::Job>& jobs);
+std::vector<sim::Job> jobs_from_csv(const util::CsvTable& table);
+
+void save_jobs(const std::vector<sim::Job>& jobs, const std::string& path);
+std::vector<sim::Job> load_jobs(const std::string& path);
+
+}  // namespace reasched::workload

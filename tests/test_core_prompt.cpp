@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "core/objectives.hpp"
+#include "core/prompt_builder.hpp"
+
+namespace rc = reasched::core;
+namespace rs = reasched::sim;
+
+namespace {
+rs::Job make_job(int id, int nodes, double mem, double dur, double submit = 0.0) {
+  rs::Job j;
+  j.id = id;
+  j.nodes = nodes;
+  j.memory_gb = mem;
+  j.duration = dur;
+  j.walltime = dur;
+  j.submit_time = submit;
+  j.user = id;
+  return j;
+}
+
+struct CtxFixture {
+  rs::ClusterState cluster{rs::ClusterSpec::paper_default()};
+  std::vector<rs::Job> waiting;
+  std::vector<rs::Job> ineligible;
+  std::vector<rs::ClusterState::Allocation> running;
+  std::vector<rs::CompletedJob> completed;
+
+  rs::DecisionContext ctx(double now = 0.0) {
+    running = cluster.running_by_end_time();
+    return rs::DecisionContext{now,    cluster,   waiting, ineligible,
+                               running, completed, false,   waiting.size()};
+  }
+};
+}  // namespace
+
+TEST(PromptBuilder, EmptySystemMatchesPaperShape) {
+  CtxFixture f;
+  const rc::PromptBuilder builder{rc::AgentConfig{}};
+  const std::string prompt = builder.build(f.ctx(0.0), "(nothing yet)\n");
+
+  // The paper's prompt sections, in order (Section 3.4).
+  for (const char* fragment :
+       {"You are an expert HPC resource manager",
+        "System capacity: 256 nodes, 2048 GB memory", "Current time: 0",
+        "Available Nodes: 256", "Available Memory: 2048 GB", "Running Jobs:\nNone",
+        "Completed Jobs:\nNone", "Waiting Jobs (eligible to schedule):\nNone",
+        "# Scratchpad (Decision History)", "(nothing yet)",
+        "Your scheduling objectives are:", "Fairness: Minimize variance",
+        "Trade-offs are allowed", "StartJob(job_id=X)", "BackfillJob(job_id=Y)",
+        "Thought: <your reasoning>", "Action: <your action>"}) {
+    EXPECT_NE(prompt.find(fragment), std::string::npos) << "missing: " << fragment;
+  }
+}
+
+TEST(PromptBuilder, ListsRunningAndWaitingJobs) {
+  CtxFixture f;
+  f.cluster.allocate(make_job(46, 256, 128, 20000), 0.0);
+  f.waiting = {make_job(32, 256, 8, 147, 0.0)};
+  const rc::PromptBuilder builder{rc::AgentConfig{}};
+  const std::string prompt = builder.build(f.ctx(1554.0), "(nothing yet)\n");
+
+  EXPECT_NE(prompt.find("Current time: 1554"), std::string::npos);
+  EXPECT_NE(prompt.find("Available Nodes: 0"), std::string::npos);
+  EXPECT_NE(prompt.find("Job 46: 256 Nodes, 128 GB"), std::string::npos);
+  EXPECT_NE(prompt.find("Job 32: 256 Nodes, 8 GB, walltime=147"), std::string::npos);
+  EXPECT_NE(prompt.find("waited 1554s"), std::string::npos);
+}
+
+TEST(PromptBuilder, ShowsCompletedSummaryAndDependencies) {
+  CtxFixture f;
+  f.completed.push_back({make_job(1, 1, 1, 10), 0.0, 10.0});
+  f.completed.push_back({make_job(2, 1, 1, 10), 0.0, 10.0});
+  auto dep = make_job(3, 1, 1, 10);
+  dep.dependencies = {1, 2};
+  f.ineligible.push_back(dep);
+  const rc::PromptBuilder builder{rc::AgentConfig{}};
+  const std::string prompt = builder.build(f.ctx(20.0), "x\n");
+  EXPECT_NE(prompt.find("2 job(s) completed"), std::string::npos);
+  EXPECT_NE(prompt.find("waiting on dependencies"), std::string::npos);
+  EXPECT_NE(prompt.find("Job 3 (depends on 2 job(s))"), std::string::npos);
+}
+
+TEST(PromptBuilder, ScratchpadTextEmbeddedVerbatim) {
+  CtxFixture f;
+  const rc::PromptBuilder builder{rc::AgentConfig{}};
+  const std::string prompt =
+      builder.build(f.ctx(), "[t=0] Action: StartJob(job_id=9)\n");
+  EXPECT_NE(prompt.find("[t=0] Action: StartJob(job_id=9)"), std::string::npos);
+}
+
+TEST(PromptBuilder, ObjectivesCanBeDisabled) {
+  CtxFixture f;
+  rc::AgentConfig config;
+  config.objectives_in_prompt = false;
+  const rc::PromptBuilder builder{config};
+  const std::string prompt = builder.build(f.ctx(), "x\n");
+  EXPECT_EQ(prompt.find("Your scheduling objectives are:"), std::string::npos);
+  // The action menu must survive regardless.
+  EXPECT_NE(prompt.find("StartJob(job_id=X)"), std::string::npos);
+}
+
+TEST(ObjectivesBlock, ContainsAllFiveGoals) {
+  const std::string block = rc::objectives_block();
+  for (const char* goal : {"Fairness", "Makespan", "Utilization", "Throughput",
+                           "Feasibility"}) {
+    EXPECT_NE(block.find(goal), std::string::npos) << goal;
+  }
+}
+
+TEST(ActionMenu, ListsFullActionSpace) {
+  const std::string menu = rc::action_menu_block();
+  for (const char* action : {"StartJob(job_id=X)", "BackfillJob(job_id=Y)", "Delay",
+                             "Stop"}) {
+    EXPECT_NE(menu.find(action), std::string::npos) << action;
+  }
+}
+
+TEST(PromptBuilder, PolarisClusterCapacityRendered) {
+  rs::ClusterState polaris(rs::ClusterSpec::polaris());
+  std::vector<rs::Job> none;
+  std::vector<rs::ClusterState::Allocation> running;
+  std::vector<rs::CompletedJob> completed;
+  const rs::DecisionContext ctx{0.0, polaris, none, none, running, completed, false, 0};
+  const rc::PromptBuilder builder{rc::AgentConfig{}};
+  const std::string prompt = builder.build(ctx, "x\n");
+  EXPECT_NE(prompt.find("System capacity: 560 nodes, 286720 GB memory"),
+            std::string::npos);
+}

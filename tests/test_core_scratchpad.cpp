@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "core/scratchpad.hpp"
+
+namespace rc = reasched::core;
+namespace rs = reasched::sim;
+
+TEST(Scratchpad, EmptyRendersPlaceholder) {
+  const rc::Scratchpad pad;
+  EXPECT_EQ(pad.render(1000), "(nothing yet)\n");
+  EXPECT_TRUE(pad.empty());
+}
+
+TEST(Scratchpad, RecordsDecisionsInOrder) {
+  rc::Scratchpad pad;
+  pad.record_decision(0.0, "start the short one", rs::Action::start(9));
+  pad.record_verdict(true, {});
+  pad.record_decision(2.0, "wait for resources", rs::Action::delay());
+  pad.record_verdict(true, {});
+  EXPECT_EQ(pad.size(), 2u);
+  const std::string text = pad.render(10000);
+  EXPECT_NE(text.find("StartJob(job_id=9)"), std::string::npos);
+  EXPECT_NE(text.find("Delay"), std::string::npos);
+  // Chronological: the StartJob line appears before the Delay line.
+  EXPECT_LT(text.find("StartJob"), text.find("[t=2] Action: Delay"));
+}
+
+TEST(Scratchpad, RejectionsCarryFeedback) {
+  rc::Scratchpad pad;
+  pad.record_decision(1554.0, "schedule job 32", rs::Action::start(32));
+  pad.record_verdict(false,
+                     "[t=1554] Action: StartJob failed (not enough resources)\n"
+                     "Feedback: Job 32 cannot be started");
+  const std::string text = pad.render(10000);
+  EXPECT_NE(text.find("[REJECTED]"), std::string::npos);
+  EXPECT_NE(text.find("not enough resources"), std::string::npos);
+  EXPECT_EQ(pad.rejected_count(), 1u);
+  EXPECT_EQ(pad.accepted_count(), 0u);
+}
+
+TEST(Scratchpad, RejectedAtScopesToCurrentTime) {
+  rc::Scratchpad pad;
+  pad.record_decision(10.0, "", rs::Action::start(1));
+  pad.record_verdict(false, "no");
+  pad.record_decision(20.0, "", rs::Action::start(2));
+  pad.record_verdict(false, "no");
+  pad.record_decision(20.0, "", rs::Action::start(3));
+  pad.record_verdict(false, "no");
+  // Only the time-20 rejections are "recent" at t=20; job 1's rejection at
+  // t=10 is stale (state has changed since).
+  const auto recent = pad.rejected_at(20.0);
+  EXPECT_EQ(recent.size(), 2u);
+  EXPECT_EQ(std::count(recent.begin(), recent.end(), 2), 1);
+  EXPECT_EQ(std::count(recent.begin(), recent.end(), 3), 1);
+  EXPECT_TRUE(pad.rejected_at(30.0).empty());
+}
+
+TEST(Scratchpad, AcceptedActionsNotInRejectedAt) {
+  rc::Scratchpad pad;
+  pad.record_decision(5.0, "", rs::Action::start(1));
+  pad.record_verdict(true, {});
+  pad.record_decision(5.0, "", rs::Action::delay());
+  pad.record_verdict(false, "weird");  // rejected delay is not a job
+  EXPECT_TRUE(pad.rejected_at(5.0).empty());
+}
+
+TEST(Scratchpad, BudgetTruncationSummarizesOldEntries) {
+  rc::Scratchpad pad;
+  for (int i = 0; i < 200; ++i) {
+    pad.record_decision(static_cast<double>(i),
+                        "a moderately long thought about scheduling job " +
+                            std::to_string(i),
+                        rs::Action::start(i + 1));
+    pad.record_verdict(true, {});
+  }
+  const std::string text = pad.render(/*token_budget=*/300);
+  // Summary line present, newest entry kept, oldest dropped.
+  EXPECT_NE(text.find("earlier decisions summarized"), std::string::npos);
+  EXPECT_NE(text.find("StartJob(job_id=200)"), std::string::npos);
+  EXPECT_EQ(text.find("StartJob(job_id=1)\n"), std::string::npos);
+}
+
+TEST(Scratchpad, TinyBudgetStillKeepsNewestEntry) {
+  rc::Scratchpad pad;
+  pad.record_decision(0.0, "thought", rs::Action::start(1));
+  pad.record_decision(1.0, "thought", rs::Action::start(2));
+  const std::string text = pad.render(1);
+  EXPECT_NE(text.find("StartJob(job_id=2)"), std::string::npos);
+}
+
+TEST(Scratchpad, NotesAreRendered) {
+  rc::Scratchpad pad;
+  pad.record_note(3.0, "Response could not be parsed");
+  EXPECT_NE(pad.render(1000).find("could not be parsed"), std::string::npos);
+}
+
+TEST(Scratchpad, VerdictOnEmptyPadIsNoop) {
+  rc::Scratchpad pad;
+  pad.record_verdict(false, "ignored");
+  EXPECT_TRUE(pad.empty());
+}
+
+TEST(Scratchpad, ClearResets) {
+  rc::Scratchpad pad;
+  pad.record_decision(0.0, "x", rs::Action::start(1));
+  pad.clear();
+  EXPECT_TRUE(pad.empty());
+  EXPECT_EQ(pad.render(100), "(nothing yet)\n");
+}

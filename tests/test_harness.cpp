@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "harness/sweep.hpp"
+
+namespace rh = reasched::harness;
+namespace rw = reasched::workload;
+namespace rm = reasched::metrics;
+
+TEST(Methods, NamesAndFactory) {
+  for (const auto m :
+       {rh::Method::kFcfs, rh::Method::kSjf, rh::Method::kOrTools, rh::Method::kClaude37,
+        rh::Method::kO4Mini, rh::Method::kEasyBackfill, rh::Method::kFastLocal}) {
+    const auto scheduler = rh::make_scheduler(m, 1);
+    ASSERT_NE(scheduler, nullptr);
+    EXPECT_EQ(scheduler->name(), rh::method_name(m));
+  }
+}
+
+TEST(Methods, PaperSetIsFiveInOrder) {
+  const auto& methods = rh::paper_methods();
+  ASSERT_EQ(methods.size(), 5u);
+  EXPECT_EQ(methods.front(), rh::Method::kFcfs);
+  EXPECT_EQ(rh::method_name(methods[2]), "OR-Tools*");
+  EXPECT_TRUE(rh::is_llm_method(methods[3]));
+  EXPECT_TRUE(rh::is_llm_method(methods[4]));
+  EXPECT_FALSE(rh::is_llm_method(rh::Method::kFcfs));
+}
+
+TEST(RunMethod, OverheadOnlyForLlmMethods) {
+  const auto jobs =
+      rw::make_generator(rw::Scenario::kResourceSparse)->generate(12, 3);
+  const auto fcfs = rh::run_method(jobs, rh::Method::kFcfs, 3);
+  EXPECT_FALSE(fcfs.overhead.has_value());
+  EXPECT_EQ(fcfs.schedule.completed.size(), 12u);
+
+  const auto claude = rh::run_method(jobs, rh::Method::kClaude37, 3);
+  ASSERT_TRUE(claude.overhead.has_value());
+  EXPECT_EQ(claude.overhead->n_successful, 12u);
+  EXPECT_GT(claude.overhead->total_elapsed_s, 0.0);
+  EXPECT_EQ(claude.overhead->latencies.size(), 12u);
+  EXPECT_GT(claude.overhead->prompt_tokens, 0);
+}
+
+TEST(Sweep, DeterministicAndPaired) {
+  rh::SweepConfig config;
+  config.scenarios = {rw::Scenario::kResourceSparse};
+  config.job_counts = {10};
+  config.methods = {rh::Method::kFcfs, rh::Method::kSjf};
+  config.repetitions = 2;
+  config.base_seed = 99;
+  config.threads = 2;
+
+  const auto r1 = rh::run_sweep(config);
+  const auto r2 = rh::run_sweep(config);
+  ASSERT_EQ(r1.size(), 4u);  // 2 methods x 2 reps
+  ASSERT_EQ(r2.size(), r1.size());
+  for (const auto& [cell, outcome] : r1) {
+    const auto& other = r2.at(cell);
+    EXPECT_DOUBLE_EQ(outcome.metrics.makespan, other.metrics.makespan)
+        << "sweep not deterministic";
+  }
+
+  // Paired workloads: both methods see identical jobs per repetition.
+  const auto jobs_a = rh::cell_jobs(config, rw::Scenario::kResourceSparse, 10, 0);
+  const auto jobs_b = rh::cell_jobs(config, rw::Scenario::kResourceSparse, 10, 0);
+  ASSERT_EQ(jobs_a.size(), jobs_b.size());
+  for (std::size_t i = 0; i < jobs_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(jobs_a[i].duration, jobs_b[i].duration);
+  }
+  // Different repetitions draw different workloads.
+  const auto jobs_rep1 = rh::cell_jobs(config, rw::Scenario::kResourceSparse, 10, 1);
+  bool differs = false;
+  for (std::size_t i = 0; i < jobs_a.size() && !differs; ++i) {
+    differs = jobs_a[i].duration != jobs_rep1[i].duration;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Sweep, CellSeedVariesByMethodAndRep) {
+  rh::SweepConfig config;
+  const rh::Cell a{rw::Scenario::kHeterogeneousMix, 10, rh::Method::kClaude37, 0};
+  const rh::Cell b{rw::Scenario::kHeterogeneousMix, 10, rh::Method::kO4Mini, 0};
+  const rh::Cell c{rw::Scenario::kHeterogeneousMix, 10, rh::Method::kClaude37, 1};
+  EXPECT_NE(rh::cell_seed(config, a), rh::cell_seed(config, b));
+  EXPECT_NE(rh::cell_seed(config, a), rh::cell_seed(config, c));
+}
+
+TEST(Sweep, AggregateGroupsRepetitions) {
+  rh::SweepConfig config;
+  config.scenarios = {rw::Scenario::kHomogeneousShort};
+  config.job_counts = {10};
+  config.methods = {rh::Method::kFcfs};
+  config.repetitions = 3;
+  config.threads = 1;
+  const auto results = rh::run_sweep(config);
+  const auto groups = rh::aggregate_sweep(results);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups.begin()->second.n_samples(), 3u);
+}
+
+TEST(Sweep, StaticModeProducesZeroArrivals) {
+  rh::SweepConfig config;
+  config.arrival_mode = rw::ArrivalMode::kStatic;
+  const auto jobs = rh::cell_jobs(config, rw::Scenario::kHeterogeneousMix, 8, 0);
+  for (const auto& j : jobs) EXPECT_DOUBLE_EQ(j.submit_time, 0.0);
+}

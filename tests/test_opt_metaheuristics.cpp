@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+
+#include "opt/branch_and_bound.hpp"
+#include "opt/genetic_algorithm.hpp"
+#include "opt/list_scheduler.hpp"
+#include "opt/particle_swarm.hpp"
+
+namespace ro = reasched::opt;
+namespace rs = reasched::sim;
+
+namespace {
+rs::Job make_job(int id, int nodes, double mem, double dur) {
+  rs::Job j;
+  j.id = id;
+  j.nodes = nodes;
+  j.memory_gb = mem;
+  j.duration = dur;
+  j.walltime = dur;
+  return j;
+}
+
+ro::Problem random_problem(reasched::util::Rng& rng, std::size_t n) {
+  ro::Problem p;
+  p.total_nodes = 256;
+  p.total_memory_gb = 2048;
+  for (std::size_t i = 0; i < n; ++i) {
+    p.jobs.push_back(make_job(static_cast<int>(i + 1),
+                              static_cast<int>(rng.uniform_int(1, 200)),
+                              rng.uniform_real(1.0, 1024.0),
+                              rng.uniform_real(10.0, 400.0)));
+  }
+  return p;
+}
+
+bool is_permutation_of_n(const std::vector<std::size_t>& order, std::size_t n) {
+  if (order.size() != n) return false;
+  std::set<std::size_t> seen(order.begin(), order.end());
+  return seen.size() == n && *seen.begin() == 0 && *seen.rbegin() == n - 1;
+}
+}  // namespace
+
+TEST(OrderCrossover, ProducesValidPermutation) {
+  reasched::util::Rng rng(1);
+  std::vector<std::size_t> a(12), b(12);
+  std::iota(a.begin(), a.end(), std::size_t{0});
+  b = a;
+  rng.shuffle(b);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto child = ro::order_crossover(a, b, rng);
+    EXPECT_TRUE(is_permutation_of_n(child, 12));
+  }
+}
+
+TEST(OrderCrossover, IdenticalParentsYieldSameChild) {
+  reasched::util::Rng rng(2);
+  std::vector<std::size_t> a = {0, 1, 2, 3, 4};
+  EXPECT_EQ(ro::order_crossover(a, a, rng), a);
+}
+
+TEST(SwapSequence, TransformsFromIntoTo) {
+  reasched::util::Rng rng(3);
+  std::vector<std::size_t> from(15), to(15);
+  std::iota(from.begin(), from.end(), std::size_t{0});
+  to = from;
+  rng.shuffle(to);
+  auto applied = from;
+  for (const auto& [i, j] : ro::swap_sequence(from, to)) {
+    std::swap(applied[i], applied[j]);
+  }
+  EXPECT_EQ(applied, to);
+}
+
+TEST(SwapSequence, IdenticalIsEmpty) {
+  const std::vector<std::size_t> v = {2, 0, 1};
+  EXPECT_TRUE(ro::swap_sequence(v, v).empty());
+}
+
+class MetaheuristicQuality : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MetaheuristicQuality, GaNeverWorseThanSeedAndValid) {
+  reasched::util::Rng rng(GetParam());
+  const auto p = random_problem(rng, 16);
+  const ro::ObjectiveWeights w;
+  const auto seed = ro::order_by_arrival(p);
+  const double seed_score = ro::evaluate(ro::decode_order(p, seed), w);
+  ro::GaConfig config;
+  config.generations = 25;
+  reasched::util::Rng ga_rng(GetParam() + 100);
+  const auto r = ro::genetic_algorithm(p, seed, w, config, ga_rng);
+  EXPECT_LE(r.score, seed_score + 1e-9);
+  EXPECT_TRUE(is_permutation_of_n(r.order, p.jobs.size()));
+  EXPECT_GT(r.evaluations, 0u);
+}
+
+TEST_P(MetaheuristicQuality, PsoNeverWorseThanSeedAndValid) {
+  reasched::util::Rng rng(GetParam());
+  const auto p = random_problem(rng, 16);
+  const ro::ObjectiveWeights w;
+  const auto seed = ro::order_by_arrival(p);
+  const double seed_score = ro::evaluate(ro::decode_order(p, seed), w);
+  ro::PsoConfig config;
+  config.iterations = 30;
+  reasched::util::Rng pso_rng(GetParam() + 200);
+  const auto r = ro::particle_swarm(p, seed, w, config, pso_rng);
+  EXPECT_LE(r.score, seed_score + 1e-9);
+  EXPECT_TRUE(is_permutation_of_n(r.order, p.jobs.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MetaheuristicQuality, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(Metaheuristics, ApproachOptimumOnSmallInstances) {
+  // On instances small enough for exact B&B, GA and PSO should land within
+  // 15% of the optimum with modest budgets.
+  reasched::util::Rng rng(77);
+  const auto p = random_problem(rng, 7);
+  const ro::ObjectiveWeights w;
+  const double optimum = ro::branch_and_bound(p, w).score;
+
+  const auto seed = ro::order_by_arrival(p);
+  reasched::util::Rng ga_rng(1), pso_rng(1);
+  const auto ga = ro::genetic_algorithm(p, seed, w, {}, ga_rng);
+  const auto pso = ro::particle_swarm(p, seed, w, {}, pso_rng);
+  EXPECT_LE(ga.score, optimum * 1.15 + 1e-9);
+  EXPECT_LE(pso.score, optimum * 1.15 + 1e-9);
+  EXPECT_GE(ga.score, optimum - 1e-9);   // cannot beat the exact optimum
+  EXPECT_GE(pso.score, optimum - 1e-9);
+}
+
+TEST(Metaheuristics, DeterministicGivenRng) {
+  reasched::util::Rng rng(5);
+  const auto p = random_problem(rng, 12);
+  const auto seed = ro::order_spt(p);
+  reasched::util::Rng a(9), b(9);
+  const auto ga1 = ro::genetic_algorithm(p, seed, {}, {}, a);
+  const auto ga2 = ro::genetic_algorithm(p, seed, {}, {}, b);
+  EXPECT_EQ(ga1.order, ga2.order);
+  EXPECT_DOUBLE_EQ(ga1.score, ga2.score);
+
+  reasched::util::Rng c(9), d(9);
+  const auto pso1 = ro::particle_swarm(p, seed, {}, {}, c);
+  const auto pso2 = ro::particle_swarm(p, seed, {}, {}, d);
+  EXPECT_EQ(pso1.order, pso2.order);
+}
+
+TEST(Metaheuristics, TrivialInstances) {
+  ro::Problem p;
+  p.total_nodes = 16;
+  p.total_memory_gb = 64;
+  reasched::util::Rng rng(1);
+  const auto ga_empty = ro::genetic_algorithm(p, {}, {}, {}, rng);
+  EXPECT_TRUE(ga_empty.order.empty());
+  p.jobs.push_back(make_job(1, 2, 4, 50));
+  const auto pso_single = ro::particle_swarm(p, {0}, {}, {}, rng);
+  EXPECT_DOUBLE_EQ(pso_single.score, 50.0);
+}

@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "opt/resource_profile.hpp"
+
+namespace ro = reasched::opt;
+
+TEST(ResourceProfile, EmptyFitsEverywhere) {
+  ro::ResourceProfile p(256, 2048);
+  EXPECT_TRUE(p.fits(0.0, 100.0, 256, 2048));
+  EXPECT_FALSE(p.fits(0.0, 100.0, 257, 1));
+  EXPECT_FALSE(p.fits(0.0, 100.0, 1, 2049));
+  EXPECT_EQ(p.peak_nodes(), 0);
+}
+
+TEST(ResourceProfile, AddAndQuery) {
+  ro::ResourceProfile p(256, 2048);
+  p.add(0.0, 100.0, 200, 1000);
+  EXPECT_FALSE(p.fits(50.0, 10.0, 100, 10));   // overlaps, nodes exceeded
+  EXPECT_TRUE(p.fits(50.0, 10.0, 56, 10));     // fits in the gap
+  EXPECT_TRUE(p.fits(100.0, 10.0, 256, 2048)); // after release
+  EXPECT_FALSE(p.fits(99.9999, 10.0, 100, 10));
+  EXPECT_EQ(p.peak_nodes(), 200);
+}
+
+TEST(ResourceProfile, AddThrowsOnOverflow) {
+  ro::ResourceProfile p(256, 2048);
+  p.add(0.0, 100.0, 200, 1000);
+  EXPECT_THROW(p.add(50.0, 10.0, 100, 10), std::logic_error);
+  EXPECT_THROW(p.add(0.0, 10.0, 1, 1500), std::logic_error);
+  EXPECT_THROW(p.add(-1.0, 10.0, 1, 1), std::logic_error);
+  EXPECT_THROW(p.add(0.0, 0.0, 1, 1), std::logic_error);
+}
+
+TEST(ResourceProfile, EarliestFitSkipsBusyWindows) {
+  ro::ResourceProfile p(256, 2048);
+  p.add(0.0, 100.0, 200, 1000);
+  p.add(100.0, 50.0, 100, 500);
+  // A 200-node job cannot coexist with either: earliest start is t=150.
+  EXPECT_DOUBLE_EQ(p.earliest_fit(0.0, 10.0, 200, 100), 150.0);
+  // A 56-node job fits alongside the first from t=0.
+  EXPECT_DOUBLE_EQ(p.earliest_fit(0.0, 10.0, 56, 100), 0.0);
+  // Respects not_before.
+  EXPECT_DOUBLE_EQ(p.earliest_fit(500.0, 10.0, 256, 2048), 500.0);
+}
+
+TEST(ResourceProfile, EarliestFitThrowsOnImpossibleDemand) {
+  ro::ResourceProfile p(10, 100);
+  EXPECT_THROW(p.earliest_fit(0.0, 1.0, 11, 1), std::logic_error);
+}
+
+TEST(ResourceProfile, InterleavedSegments) {
+  ro::ResourceProfile p(100, 1000);
+  p.add(0.0, 30.0, 40, 100);
+  p.add(10.0, 30.0, 40, 100);  // overlap in [10, 30): 80 nodes
+  EXPECT_TRUE(p.fits(10.0, 20.0, 20, 100));
+  EXPECT_FALSE(p.fits(10.0, 20.0, 21, 100));
+  EXPECT_EQ(p.peak_nodes(), 80);
+  // Gap after 40: everything free.
+  EXPECT_TRUE(p.fits(40.0, 100.0, 100, 1000));
+}

@@ -1,0 +1,118 @@
+// Property suite for the dependency extension (paper Section 6): random
+// DAGs scheduled by every method must respect precedence - no job starts
+// before all of its dependencies have completed.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "harness/methods.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+
+namespace rs = reasched::sim;
+namespace rh = reasched::harness;
+
+namespace {
+
+/// Random DAG: edges only from lower to higher ids (guarantees acyclicity);
+/// density and shape vary with the seed.
+std::vector<rs::Job> random_dag_jobs(std::uint64_t seed, std::size_t n) {
+  reasched::util::Rng rng(seed);
+  std::vector<rs::Job> jobs;
+  jobs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    rs::Job j;
+    j.id = static_cast<int>(i + 1);
+    j.user = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    j.nodes = static_cast<int>(rng.uniform_int(1, 64));
+    j.memory_gb = rng.uniform_real(1.0, 256.0);
+    j.duration = j.walltime = rng.uniform_real(10.0, 300.0);
+    j.submit_time = rng.uniform_real(0.0, 50.0);
+    for (std::size_t k = 0; k < i; ++k) {
+      if (rng.bernoulli(0.15)) j.dependencies.push_back(static_cast<int>(k + 1));
+    }
+    jobs.push_back(std::move(j));
+  }
+  return jobs;
+}
+
+struct DagCase {
+  rh::Method method;
+  std::uint64_t seed;
+};
+
+}  // namespace
+
+class DagInvariants : public ::testing::TestWithParam<DagCase> {};
+
+TEST_P(DagInvariants, DependenciesNeverViolated) {
+  const auto& p = GetParam();
+  const auto jobs = random_dag_jobs(p.seed, 20);
+  const auto scheduler = rh::make_scheduler(p.method, p.seed);
+  rs::Engine engine;
+  const auto result = engine.run(jobs, *scheduler);
+  ASSERT_EQ(result.completed.size(), jobs.size());
+
+  std::map<rs::JobId, const rs::CompletedJob*> by_id;
+  for (const auto& c : result.completed) by_id[c.job.id] = &c;
+  for (const auto& c : result.completed) {
+    for (const rs::JobId dep : c.job.dependencies) {
+      EXPECT_GE(c.start_time, by_id.at(dep)->end_time - 1e-9)
+          << "job " << c.job.id << " started before dependency " << dep
+          << " finished under " << rh::method_name(p.method);
+    }
+  }
+}
+
+namespace {
+std::vector<DagCase> dag_cases() {
+  std::vector<DagCase> cases;
+  const rh::Method methods[] = {rh::Method::kFcfs, rh::Method::kSjf,
+                                rh::Method::kEasyBackfill, rh::Method::kOrTools,
+                                rh::Method::kClaude37};
+  std::uint64_t seed = 9000;
+  for (const auto m : methods) {
+    for (int rep = 0; rep < 3; ++rep) cases.push_back({m, seed++});
+  }
+  return cases;
+}
+
+std::string dag_case_name(const ::testing::TestParamInfo<DagCase>& info) {
+  std::string s = rh::method_name(info.param.method) + "_" +
+                  std::to_string(info.param.seed);
+  for (char& c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return s;
+}
+}  // namespace
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, DagInvariants, ::testing::ValuesIn(dag_cases()),
+                         dag_case_name);
+
+TEST(DagScheduling, DiamondCriticalPath) {
+  // 1 -> {2, 3} -> 4 with ample resources: makespan is the critical path.
+  std::vector<rs::Job> jobs(4);
+  for (int i = 0; i < 4; ++i) {
+    jobs[i].id = i + 1;
+    jobs[i].user = 1;
+    jobs[i].nodes = 4;
+    jobs[i].memory_gb = 8;
+  }
+  jobs[0].duration = jobs[0].walltime = 100;
+  jobs[1].duration = jobs[1].walltime = 200;
+  jobs[1].dependencies = {1};
+  jobs[2].duration = jobs[2].walltime = 150;
+  jobs[2].dependencies = {1};
+  jobs[3].duration = jobs[3].walltime = 50;
+  jobs[3].dependencies = {2, 3};
+
+  for (const auto method : {rh::Method::kFcfs, rh::Method::kClaude37}) {
+    const auto scheduler = rh::make_scheduler(method, 1);
+    rs::Engine engine;
+    const auto result = engine.run(jobs, *scheduler);
+    EXPECT_DOUBLE_EQ(result.find(4).start_time, 300.0) << rh::method_name(method);
+    EXPECT_DOUBLE_EQ(result.final_time, 350.0) << rh::method_name(method);
+  }
+}

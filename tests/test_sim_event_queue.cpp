@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/action.hpp"
+#include "sim/event_queue.hpp"
+
+namespace rs = reasched::sim;
+
+TEST(EventQueue, OrdersByTime) {
+  rs::EventQueue q;
+  q.push(30.0, rs::EventType::kArrival, 1);
+  q.push(10.0, rs::EventType::kArrival, 2);
+  q.push(20.0, rs::EventType::kArrival, 3);
+  EXPECT_EQ(q.pop().job_id, 2);
+  EXPECT_EQ(q.pop().job_id, 3);
+  EXPECT_EQ(q.pop().job_id, 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CompletionBeforeArrivalAtSameTime) {
+  // Resources freed at time t must be visible to jobs arriving at t.
+  rs::EventQueue q;
+  q.push(10.0, rs::EventType::kArrival, 1);
+  q.push(10.0, rs::EventType::kCompletion, 2);
+  EXPECT_EQ(q.pop().type, rs::EventType::kCompletion);
+  EXPECT_EQ(q.pop().type, rs::EventType::kArrival);
+}
+
+TEST(EventQueue, StableWithinSameTimeAndType) {
+  rs::EventQueue q;
+  q.push(5.0, rs::EventType::kArrival, 7);
+  q.push(5.0, rs::EventType::kArrival, 8);
+  q.push(5.0, rs::EventType::kArrival, 9);
+  EXPECT_EQ(q.pop().job_id, 7);
+  EXPECT_EQ(q.pop().job_id, 8);
+  EXPECT_EQ(q.pop().job_id, 9);
+}
+
+TEST(EventQueue, PendingArrivalTracking) {
+  rs::EventQueue q;
+  EXPECT_FALSE(q.has_pending_arrivals());
+  q.push(1.0, rs::EventType::kArrival, 1);
+  q.push(2.0, rs::EventType::kCompletion, 1);
+  EXPECT_TRUE(q.has_pending_arrivals());
+  q.pop();  // arrival
+  EXPECT_FALSE(q.has_pending_arrivals());
+  q.pop();  // completion
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeAndEmptyBehaviour) {
+  rs::EventQueue q;
+  EXPECT_TRUE(std::isinf(q.next_time()));
+  EXPECT_THROW(q.peek(), std::logic_error);
+  EXPECT_THROW(q.pop(), std::logic_error);
+  q.push(3.5, rs::EventType::kArrival, 1);
+  EXPECT_DOUBLE_EQ(q.next_time(), 3.5);
+  EXPECT_EQ(q.peek().job_id, 1);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(Action, SurfaceSyntax) {
+  EXPECT_EQ(rs::Action::start(9).to_string(), "StartJob(job_id=9)");
+  EXPECT_EQ(rs::Action::backfill(40).to_string(), "BackfillJob(job_id=40)");
+  EXPECT_EQ(rs::Action::delay().to_string(), "Delay");
+  EXPECT_EQ(rs::Action::stop().to_string(), "Stop");
+}
+
+TEST(Action, PlacesJob) {
+  EXPECT_TRUE(rs::Action::start(1).places_job());
+  EXPECT_TRUE(rs::Action::backfill(1).places_job());
+  EXPECT_FALSE(rs::Action::delay().places_job());
+  EXPECT_FALSE(rs::Action::stop().places_job());
+}
+
+TEST(Action, Equality) {
+  EXPECT_EQ(rs::Action::start(3), rs::Action::start(3));
+  EXPECT_NE(rs::Action::start(3), rs::Action::start(4));
+  EXPECT_NE(rs::Action::start(3), rs::Action::backfill(3));
+}

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "sim/cluster.hpp"
+#include "sim/job.hpp"
+
+namespace rs = reasched::sim;
+
+namespace {
+rs::Job make_job(int id, int nodes, double mem, double dur) {
+  rs::Job j;
+  j.id = id;
+  j.nodes = nodes;
+  j.memory_gb = mem;
+  j.duration = dur;
+  j.walltime = dur;
+  return j;
+}
+}  // namespace
+
+TEST(Job, ValidityRules) {
+  EXPECT_TRUE(make_job(1, 2, 4, 100).valid());
+  EXPECT_FALSE(make_job(0, 2, 4, 100).valid());   // id must be positive
+  EXPECT_FALSE(make_job(1, 0, 4, 100).valid());   // at least one node
+  EXPECT_FALSE(make_job(1, 2, 4, 0).valid());     // positive duration
+  EXPECT_FALSE(make_job(1, 2, -1, 100).valid());  // non-negative memory
+  rs::Job early = make_job(1, 2, 4, 100);
+  early.submit_time = -1;
+  EXPECT_FALSE(early.valid());
+}
+
+TEST(Job, AreaAccessors) {
+  const auto j = make_job(1, 4, 16, 100);
+  EXPECT_DOUBLE_EQ(j.node_seconds(), 400.0);
+  EXPECT_DOUBLE_EQ(j.memory_gb_seconds(), 1600.0);
+}
+
+TEST(Job, ArrivalOrderTieBreaksById) {
+  auto a = make_job(1, 1, 1, 10);
+  auto b = make_job(2, 1, 1, 10);
+  EXPECT_TRUE(rs::arrival_order(a, b));
+  b.submit_time = 5;
+  EXPECT_TRUE(rs::arrival_order(a, b));
+  a.submit_time = 10;
+  EXPECT_FALSE(rs::arrival_order(a, b));
+}
+
+TEST(ClusterSpec, PaperAndPolarisDefaults) {
+  const auto paper = rs::ClusterSpec::paper_default();
+  EXPECT_EQ(paper.total_nodes, 256);
+  EXPECT_DOUBLE_EQ(paper.total_memory_gb, 2048.0);
+  const auto polaris = rs::ClusterSpec::polaris();
+  EXPECT_EQ(polaris.total_nodes, 560);
+  EXPECT_DOUBLE_EQ(polaris.total_memory_gb, 560.0 * 512.0);
+}
+
+TEST(ClusterState, AllocateReleaseCycle) {
+  rs::ClusterState c(rs::ClusterSpec::paper_default());
+  EXPECT_EQ(c.available_nodes(), 256);
+  const auto j = make_job(1, 100, 500, 60);
+  EXPECT_TRUE(c.fits(j));
+  c.allocate(j, 10.0);
+  EXPECT_EQ(c.available_nodes(), 156);
+  EXPECT_DOUBLE_EQ(c.available_memory_gb(), 1548.0);
+  EXPECT_TRUE(c.is_running(1));
+  EXPECT_TRUE(c.invariants_hold());
+
+  const auto alloc = c.release(1);
+  EXPECT_DOUBLE_EQ(alloc.start_time, 10.0);
+  EXPECT_DOUBLE_EQ(alloc.end_time, 70.0);
+  EXPECT_EQ(c.available_nodes(), 256);
+  EXPECT_FALSE(c.is_running(1));
+  EXPECT_TRUE(c.invariants_hold());
+}
+
+TEST(ClusterState, RejectsOverAllocation) {
+  rs::ClusterState c(rs::ClusterSpec::paper_default());
+  c.allocate(make_job(1, 200, 1000, 60), 0.0);
+  EXPECT_FALSE(c.fits(make_job(2, 100, 10, 60)));   // nodes exhausted
+  EXPECT_THROW(c.allocate(make_job(2, 100, 10, 60), 0.0), std::logic_error);
+  EXPECT_FALSE(c.fits(make_job(3, 10, 2000, 60)));  // memory exhausted
+  EXPECT_THROW(c.allocate(make_job(3, 10, 2000, 60), 0.0), std::logic_error);
+  // A job that fits both dimensions is fine.
+  c.allocate(make_job(4, 56, 1048, 60), 0.0);
+  EXPECT_EQ(c.available_nodes(), 0);
+  EXPECT_TRUE(c.invariants_hold());
+}
+
+TEST(ClusterState, RejectsDuplicateAndUnknown) {
+  rs::ClusterState c(rs::ClusterSpec::paper_default());
+  c.allocate(make_job(1, 1, 1, 10), 0.0);
+  EXPECT_THROW(c.allocate(make_job(1, 1, 1, 10), 0.0), std::logic_error);
+  EXPECT_THROW(c.release(99), std::logic_error);
+}
+
+TEST(ClusterState, FitsEmptyChecksTotalCapacity) {
+  rs::ClusterState c(rs::ClusterSpec::paper_default());
+  c.allocate(make_job(1, 256, 0, 10), 0.0);
+  const auto big = make_job(2, 256, 2048, 10);
+  EXPECT_FALSE(c.fits(big));
+  EXPECT_TRUE(c.fits_empty(big));
+  EXPECT_FALSE(c.fits_empty(make_job(3, 257, 1, 10)));
+  EXPECT_FALSE(c.fits_empty(make_job(4, 1, 2049, 10)));
+}
+
+TEST(ClusterState, RunningByEndTimeSorted) {
+  rs::ClusterState c(rs::ClusterSpec::paper_default());
+  c.allocate(make_job(1, 1, 1, 300), 0.0);  // ends 300
+  c.allocate(make_job(2, 1, 1, 50), 0.0);   // ends 50
+  c.allocate(make_job(3, 1, 1, 120), 0.0);  // ends 120
+  const auto running = c.running_by_end_time();
+  ASSERT_EQ(running.size(), 3u);
+  EXPECT_EQ(running[0].job.id, 2);
+  EXPECT_EQ(running[1].job.id, 3);
+  EXPECT_EQ(running[2].job.id, 1);
+}
+
+TEST(ClusterState, RejectsBadSpec) {
+  rs::ClusterSpec bad;
+  bad.total_nodes = 0;
+  EXPECT_THROW(rs::ClusterState{bad}, std::invalid_argument);
+}

@@ -1,0 +1,62 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace ru = reasched::util;
+
+TEST(Csv, HeaderAndCellAccess) {
+  ru::CsvTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t.cell(0, "a"), "1");
+  EXPECT_EQ(t.cell(1, "b"), "4");
+  EXPECT_TRUE(t.has_col("a"));
+  EXPECT_FALSE(t.has_col("z"));
+  EXPECT_THROW(t.cell(0, "z"), std::out_of_range);
+}
+
+TEST(Csv, WidthMismatchRejected) {
+  ru::CsvTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Csv, EscapingRoundTrip) {
+  ru::CsvTable t({"name", "note"});
+  t.add_row({"with,comma", "with \"quotes\""});
+  t.add_row({"plain", ""});
+  const auto parsed = ru::CsvTable::parse(t.to_string());
+  EXPECT_EQ(parsed.rows(), 2u);
+  EXPECT_EQ(parsed.cell(0, "name"), "with,comma");
+  EXPECT_EQ(parsed.cell(0, "note"), "with \"quotes\"");
+  EXPECT_EQ(parsed.cell(1, "note"), "");
+}
+
+TEST(Csv, ParseSkipsBlankLines) {
+  const auto t = ru::CsvTable::parse("a,b\n\n1,2\n\n");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Csv, EscapeFunction) {
+  EXPECT_EQ(ru::csv_escape("plain"), "plain");
+  EXPECT_EQ(ru::csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(ru::csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, SaveAndLoad) {
+  ru::CsvTable t({"x"});
+  t.add_row({"42"});
+  const std::string path = ::testing::TempDir() + "/reasched_csv_test.csv";
+  t.save(path);
+  const auto loaded = ru::CsvTable::load(path);
+  EXPECT_EQ(loaded.rows(), 1u);
+  EXPECT_EQ(loaded.cell(0, "x"), "42");
+  std::remove(path.c_str());
+}
+
+TEST(Csv, LoadMissingFileThrows) {
+  EXPECT_THROW(ru::CsvTable::load("/nonexistent/path.csv"), std::runtime_error);
+}

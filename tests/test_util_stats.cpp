@@ -1,0 +1,146 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace ru = reasched::util;
+
+TEST(Stats, MeanVarianceKnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(ru::mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(ru::variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(ru::stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptyInputsReturnZero) {
+  const std::vector<double> empty;
+  EXPECT_EQ(ru::mean(empty), 0.0);
+  EXPECT_EQ(ru::variance(empty), 0.0);
+  EXPECT_EQ(ru::min_of(empty), 0.0);
+  EXPECT_EQ(ru::max_of(empty), 0.0);
+  EXPECT_EQ(ru::quantile({}, 0.5), 0.0);
+  EXPECT_EQ(ru::jain_index(empty), 0.0);
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> one = {3.5};
+  EXPECT_DOUBLE_EQ(ru::mean(one), 3.5);
+  EXPECT_DOUBLE_EQ(ru::variance(one), 0.0);
+  EXPECT_DOUBLE_EQ(ru::median(one), 3.5);
+  EXPECT_DOUBLE_EQ(ru::jain_index(one), 1.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(ru::quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ru::quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(ru::quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(ru::median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(ru::quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Stats, QuantileClampsQ) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(ru::quantile(xs, -1.0), 1.0);
+  EXPECT_DOUBLE_EQ(ru::quantile(xs, 2.0), 2.0);
+}
+
+TEST(Stats, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(ru::median({5.0, 1.0, 3.0}), 3.0);
+}
+
+TEST(Stats, BoxStatsBasics) {
+  const std::vector<double> xs = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto b = ru::box_stats(xs);
+  EXPECT_EQ(b.n, 9u);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+  EXPECT_TRUE(b.outliers.empty());
+  EXPECT_DOUBLE_EQ(b.whisker_lo, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_hi, 9.0);
+}
+
+TEST(Stats, BoxStatsDetectsOutliers) {
+  // Tight cluster plus one extreme point: Tukey fences flag it.
+  std::vector<double> xs = {10, 10.5, 11, 11.5, 12, 100};
+  const auto b = ru::box_stats(xs);
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 100.0);
+  EXPECT_LT(b.whisker_hi, 100.0);
+}
+
+TEST(Stats, HistogramCountsAndClamps) {
+  const std::vector<double> xs = {-5.0, 0.1, 0.9, 1.5, 9.9, 50.0};
+  const auto h = ru::histogram(xs, 0.0, 10.0, 10);
+  ASSERT_EQ(h.size(), 10u);
+  EXPECT_EQ(h[0], 3u);  // -5 clamped in, 0.1, 0.9
+  EXPECT_EQ(h[1], 1u);  // 1.5
+  EXPECT_EQ(h[9], 2u);  // 9.9 and 50 clamped in
+  std::size_t total = 0;
+  for (const auto c : h) total += c;
+  EXPECT_EQ(total, xs.size());
+}
+
+TEST(Stats, HistogramDegenerateArgs) {
+  EXPECT_TRUE(ru::histogram({1.0}, 0.0, 1.0, 0).empty());
+  const auto h = ru::histogram({1.0}, 5.0, 1.0, 4);
+  for (const auto c : h) EXPECT_EQ(c, 0u);
+}
+
+TEST(Stats, JainIndexEqualSharesIsOne) {
+  EXPECT_DOUBLE_EQ(ru::jain_index({5.0, 5.0, 5.0, 5.0}), 1.0);
+}
+
+TEST(Stats, JainIndexAllZerosIsOneByConvention) {
+  // The paper normalizes fairness on wait times; all-zero waits mean
+  // perfectly equal treatment.
+  EXPECT_DOUBLE_EQ(ru::jain_index({0.0, 0.0, 0.0}), 1.0);
+}
+
+TEST(Stats, JainIndexSingleUserDominance) {
+  // One non-zero among n values -> 1/n, the theoretical minimum.
+  EXPECT_DOUBLE_EQ(ru::jain_index({1.0, 0.0, 0.0, 0.0}), 0.25);
+}
+
+TEST(Stats, JainKnownMixedValue) {
+  // Jain({1,2,3}) = 36 / (3 * 14) = 6/7.
+  EXPECT_NEAR(ru::jain_index({1.0, 2.0, 3.0}), 6.0 / 7.0, 1e-12);
+}
+
+// Property: for any positive sample of size n, 1/n <= Jain <= 1.
+class JainProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JainProperty, BoundsHold) {
+  ru::Rng rng(GetParam());
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 40));
+  std::vector<double> xs;
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.uniform_real(0.0, 100.0));
+  const double j = ru::jain_index(xs);
+  EXPECT_GE(j, 1.0 / static_cast<double>(n) - 1e-12);
+  EXPECT_LE(j, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JainProperty, ::testing::Range<std::uint64_t>(0, 25));
+
+// Property: box stats are internally ordered for arbitrary samples.
+class BoxProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoxProperty, Ordered) {
+  ru::Rng rng(GetParam());
+  std::vector<double> xs;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(1, 60));
+  for (std::size_t i = 0; i < n; ++i) xs.push_back(rng.normal(0.0, 10.0));
+  const auto b = ru::box_stats(xs);
+  EXPECT_LE(b.min, b.q1);
+  EXPECT_LE(b.q1, b.median);
+  EXPECT_LE(b.median, b.q3);
+  EXPECT_LE(b.q3, b.max);
+  EXPECT_LE(b.whisker_lo, b.whisker_hi);
+  EXPECT_EQ(b.n, n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoxProperty, ::testing::Range<std::uint64_t>(100, 120));

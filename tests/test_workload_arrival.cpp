@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "workload/arrival.hpp"
+
+namespace rw = reasched::workload;
+namespace rs = reasched::sim;
+
+namespace {
+std::vector<rs::Job> blank_jobs(std::size_t n) {
+  std::vector<rs::Job> jobs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    jobs[i].id = static_cast<int>(i + 1);
+    jobs[i].duration = jobs[i].walltime = 10;
+    jobs[i].nodes = 1;
+  }
+  return jobs;
+}
+}  // namespace
+
+TEST(PoissonArrivals, FirstAtZeroAndMonotone) {
+  auto jobs = blank_jobs(50);
+  reasched::util::Rng rng(1);
+  rw::assign_poisson_arrivals(jobs, 60.0, rng);
+  EXPECT_DOUBLE_EQ(jobs.front().submit_time, 0.0);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_GE(jobs[i].submit_time, jobs[i - 1].submit_time);
+  }
+}
+
+TEST(PoissonArrivals, MeanInterarrivalApproximatelyCorrect) {
+  auto jobs = blank_jobs(5000);
+  reasched::util::Rng rng(2);
+  rw::assign_poisson_arrivals(jobs, 60.0, rng);
+  const double span = jobs.back().submit_time;
+  EXPECT_NEAR(span / 4999.0, 60.0, 4.0);
+}
+
+TEST(StaticArrivals, AllZero) {
+  auto jobs = blank_jobs(10);
+  for (auto& j : jobs) j.submit_time = 99.0;
+  rw::assign_static_arrivals(jobs);
+  for (const auto& j : jobs) EXPECT_DOUBLE_EQ(j.submit_time, 0.0);
+}
+
+TEST(BurstyArrivals, GapsBetweenBursts) {
+  auto jobs = blank_jobs(24);
+  reasched::util::Rng rng(3);
+  rw::assign_bursty_arrivals(jobs, /*burst_size=*/8, /*within_burst=*/5.0,
+                             /*idle_gap=*/1000.0, rng);
+  // Jobs 8->9 and 16->17 cross burst boundaries: the gap must be >= the idle
+  // gap, far larger than any within-burst spacing.
+  const double gap1 = jobs[8].submit_time - jobs[7].submit_time;
+  const double gap2 = jobs[16].submit_time - jobs[15].submit_time;
+  EXPECT_GE(gap1, 1000.0);
+  EXPECT_GE(gap2, 1000.0);
+  // Within-burst gaps are small on average.
+  double within = 0.0;
+  int count = 0;
+  for (std::size_t i = 1; i < 8; ++i) {
+    within += jobs[i].submit_time - jobs[i - 1].submit_time;
+    ++count;
+  }
+  EXPECT_LT(within / count, 50.0);
+}
