@@ -1,0 +1,101 @@
+// Engine scaling: indexed Engine vs the seed path (ReferenceEngine) on
+// identical workloads. The refactor's claim is that per-decision cost no
+// longer grows with queue length - sorted-vector re-sorts, erase-by-scan and
+// per-query running-allocation copies are gone - so the speedup must widen
+// with job count and clear 5x at 10k jobs.
+//
+//   ./bench/micro_engine_scaling [--jobs 1000,10000] [--seed 12345]
+//                                [--scheduler fcfs|sjf|easy] [--reps 1]
+//
+// Prints per-size wall times for both engines, the speedup, and a
+// decisions-equal cross-check (the golden test proves full equality; the
+// cross-check here guards against benchmarking two diverged paths).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/sjf.hpp"
+#include "sim/engine.hpp"
+#include "sim/reference_engine.hpp"
+#include "util/cli.hpp"
+#include "util/string_utils.hpp"
+#include "workload/generator.hpp"
+
+using namespace reasched;
+
+namespace {
+
+std::unique_ptr<sim::Scheduler> make_scheduler(const std::string& name) {
+  if (name == "sjf") return std::make_unique<sched::SjfScheduler>();
+  if (name == "easy") return std::make_unique<sched::EasyBackfillScheduler>();
+  return std::make_unique<sched::FcfsScheduler>();
+}
+
+template <typename EngineT>
+double time_run(EngineT& engine, const std::vector<sim::Job>& jobs, sim::Scheduler& scheduler,
+                std::size_t reps, sim::ScheduleResult& last) {
+  double best_s = 0.0;
+  for (std::size_t r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    last = engine.run(jobs, scheduler);
+    const auto t1 = std::chrono::steady_clock::now();
+    const double s = std::chrono::duration<double>(t1 - t0).count();
+    if (r == 0 || s < best_s) best_s = s;
+  }
+  return best_s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto sizes_arg = args.get("jobs", "1000,10000");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 12345));
+  const auto reps = static_cast<std::size_t>(args.get_int("reps", 1));
+  const std::string scheduler_name = args.get("scheduler", "fcfs");
+
+  std::vector<std::size_t> sizes;
+  for (const auto& tok : util::split(sizes_arg, ',')) {
+    sizes.push_back(static_cast<std::size_t>(std::stoull(tok)));
+  }
+
+  sim::EngineConfig config;
+  config.record_traces = false;  // isolate engine cost from trace strings
+
+  std::printf("Engine scaling, %s over Heterogeneous Mix (record_traces=off, best of %zu):\n\n",
+              scheduler_name.c_str(), reps);
+  std::printf("  %10s  %14s  %14s  %9s  %s\n", "jobs", "indexed (s)", "seed path (s)",
+              "speedup", "decisions");
+
+  bool all_match = true;
+  for (const std::size_t n : sizes) {
+    const auto jobs =
+        workload::make_generator(workload::Scenario::kHeterogeneousMix)->generate(n, seed);
+
+    const auto scheduler = make_scheduler(scheduler_name);
+    sim::Engine engine(config);
+    sim::ReferenceEngine reference(config);
+
+    sim::ScheduleResult indexed_result, seed_result;
+    const double indexed_s = time_run(engine, jobs, *scheduler, reps, indexed_result);
+    const double seed_s = time_run(reference, jobs, *scheduler, reps, seed_result);
+
+    const bool match = indexed_result.n_decisions == seed_result.n_decisions &&
+                       indexed_result.final_time == seed_result.final_time &&
+                       indexed_result.n_backfills == seed_result.n_backfills;
+    all_match = all_match && match;
+    std::printf("  %10zu  %14.4f  %14.4f  %8.1fx  %s\n", n, indexed_s, seed_s,
+                seed_s / indexed_s, match ? "equal" : "MISMATCH");
+  }
+
+  if (!all_match) {
+    std::printf("\nFAIL: engines diverged - run the golden determinism test.\n");
+    return 1;
+  }
+  return 0;
+}

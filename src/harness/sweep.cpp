@@ -33,23 +33,48 @@ std::uint64_t cell_seed(const SweepConfig& config, const Cell& cell) {
 }
 
 std::map<Cell, RunOutcome> run_sweep(const SweepConfig& config) {
+  // Workloads depend only on (scenario, n_jobs, repetition) - every method
+  // in a cell sees the identical job list. Derive each list once and share
+  // it across the method axis instead of regenerating per method.
+  struct WorkloadKey {
+    workload::Scenario scenario;
+    std::size_t n_jobs;
+    std::size_t repetition;
+    bool operator<(const WorkloadKey& o) const {
+      return std::tie(scenario, n_jobs, repetition) <
+             std::tie(o.scenario, o.n_jobs, o.repetition);
+    }
+  };
+  std::map<WorkloadKey, std::size_t> workload_index;
+  std::vector<WorkloadKey> workload_keys;
   std::vector<Cell> cells;
   for (const auto scenario : config.scenarios) {
     for (const auto n : config.job_counts) {
       for (const auto method : config.methods) {
         for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
           cells.push_back(Cell{scenario, n, method, rep});
+          const WorkloadKey key{scenario, n, rep};
+          if (workload_index.emplace(key, workload_keys.size()).second) {
+            workload_keys.push_back(key);
+          }
         }
       }
     }
   }
 
+  util::ThreadPool pool(config.threads);
+  std::vector<std::vector<sim::Job>> workloads(workload_keys.size());
+  pool.parallel_for(workload_keys.size(), [&](std::size_t i) {
+    const WorkloadKey& key = workload_keys[i];
+    workloads[i] = cell_jobs(config, key.scenario, key.n_jobs, key.repetition);
+  });
+
   std::map<Cell, RunOutcome> results;
   std::mutex mu;
-  util::ThreadPool pool(config.threads);
   pool.parallel_for(cells.size(), [&](std::size_t i) {
     const Cell& cell = cells[i];
-    const auto jobs = cell_jobs(config, cell.scenario, cell.n_jobs, cell.repetition);
+    const auto& jobs =
+        workloads[workload_index.at(WorkloadKey{cell.scenario, cell.n_jobs, cell.repetition})];
     RunOutcome outcome = run_method(jobs, cell.method, cell_seed(config, cell), config.engine);
     std::lock_guard lock(mu);
     results.emplace(cell, std::move(outcome));

@@ -36,6 +36,8 @@ struct SweepConfig {
 /// (base_seed, scenario, n_jobs, repetition) - so all methods in a cell see
 /// the *identical* job list (paired comparison, as in the paper) - and its
 /// scheduler from a seed additionally keyed by method and repetition.
+/// Each distinct (scenario, n_jobs, repetition) workload is generated once
+/// and shared across the method axis, not re-derived per method.
 /// Deterministic regardless of thread count.
 std::map<Cell, RunOutcome> run_sweep(const SweepConfig& config);
 

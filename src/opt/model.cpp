@@ -7,7 +7,7 @@ Problem Problem::from_context(const sim::DecisionContext& ctx) {
   p.now = ctx.now;
   p.total_nodes = ctx.cluster.spec().total_nodes;
   p.total_memory_gb = ctx.cluster.spec().total_memory_gb;
-  p.jobs = ctx.waiting;
+  p.jobs.assign(ctx.waiting.begin(), ctx.waiting.end());
   p.pinned.reserve(ctx.running.size());
   for (const auto& alloc : ctx.running) {
     p.pinned.push_back({alloc.end_time, alloc.job.nodes, alloc.job.memory_gb});

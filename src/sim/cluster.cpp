@@ -8,6 +8,17 @@
 
 namespace reasched::sim {
 
+namespace {
+
+/// Strict-weak ordering of the end-time index: soonest end first, job id
+/// breaks ties (ids are unique among running jobs, so the order is total).
+bool end_key_less(double end_a, JobId id_a, double end_b, JobId id_b) {
+  if (end_a != end_b) return end_a < end_b;
+  return id_a < id_b;
+}
+
+}  // namespace
+
 ClusterState::ClusterState(ClusterSpec spec)
     : spec_(spec),
       available_nodes_(spec.total_nodes),
@@ -26,7 +37,7 @@ bool ClusterState::fits_empty(const Job& job) const {
 }
 
 void ClusterState::allocate(const Job& job, double start) {
-  if (running_.count(job.id) != 0) {
+  if (slot_of_.count(job.id) != 0) {
     throw std::logic_error(util::format("ClusterState: job %d already running", job.id));
   }
   if (!fits(job)) {
@@ -36,40 +47,75 @@ void ClusterState::allocate(const Job& job, double start) {
   }
   available_nodes_ -= job.nodes;
   available_memory_gb_ -= job.memory_gb;
-  running_.emplace(job.id, Allocation{job, start, start + job.duration});
+
+  Allocation alloc{job, start, start + job.duration};
+  std::uint32_t slot;
+  if (free_slots_.empty()) {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.push_back(std::move(alloc));
+  } else {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(alloc);
+  }
+  const Allocation& a = slots_[slot];
+  const auto pos = std::lower_bound(
+      by_end_.begin(), by_end_.end(), slot, [&](std::uint32_t s, std::uint32_t) {
+        return end_key_less(slots_[s].end_time, slots_[s].job.id, a.end_time, a.job.id);
+      });
+  by_end_.insert(pos, slot);
+  slot_of_.emplace(job.id, slot);
 }
 
-ClusterState::Allocation ClusterState::release(JobId id) {
-  const auto it = running_.find(id);
-  if (it == running_.end()) {
+std::size_t ClusterState::end_index_position(std::uint32_t slot) const {
+  const Allocation& a = slots_[slot];
+  auto it = std::lower_bound(
+      by_end_.begin(), by_end_.end(), slot, [&](std::uint32_t s, std::uint32_t) {
+        return end_key_less(slots_[s].end_time, slots_[s].job.id, a.end_time, a.job.id);
+      });
+  if (it == by_end_.end() || *it != slot) {
+    throw std::logic_error("ClusterState: end-time index out of sync");
+  }
+  return static_cast<std::size_t>(it - by_end_.begin());
+}
+
+Allocation ClusterState::release(JobId id) {
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) {
     throw std::logic_error(util::format("ClusterState: release of unknown job %d", id));
   }
-  Allocation alloc = it->second;
-  running_.erase(it);
+  const std::uint32_t slot = it->second;
+  by_end_.erase(by_end_.begin() + static_cast<std::ptrdiff_t>(end_index_position(slot)));
+  slot_of_.erase(it);
+  Allocation alloc = std::move(slots_[slot]);
+  free_slots_.push_back(slot);
   available_nodes_ += alloc.job.nodes;
   available_memory_gb_ += alloc.job.memory_gb;
   return alloc;
 }
 
-std::vector<ClusterState::Allocation> ClusterState::running_by_end_time() const {
+std::vector<Allocation> ClusterState::running_by_end_time() const {
   std::vector<Allocation> out;
-  out.reserve(running_.size());
-  for (const auto& [id, alloc] : running_) out.push_back(alloc);
-  std::sort(out.begin(), out.end(), [](const Allocation& a, const Allocation& b) {
-    if (a.end_time != b.end_time) return a.end_time < b.end_time;
-    return a.job.id < b.job.id;
-  });
+  out.reserve(by_end_.size());
+  for (const std::uint32_t slot : by_end_) out.push_back(slots_[slot]);
   return out;
 }
 
 bool ClusterState::invariants_hold() const {
   int nodes = 0;
   double mem = 0.0;
-  for (const auto& [id, alloc] : running_) {
-    nodes += alloc.job.nodes;
-    mem += alloc.job.memory_gb;
+  for (const std::uint32_t slot : by_end_) {
+    nodes += slots_[slot].job.nodes;
+    mem += slots_[slot].job.memory_gb;
   }
-  return nodes + available_nodes_ == spec_.total_nodes &&
+  const bool ordered = std::is_sorted(
+      by_end_.begin(), by_end_.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return end_key_less(slots_[a].end_time, slots_[a].job.id, slots_[b].end_time,
+                            slots_[b].job.id);
+      });
+  return ordered && by_end_.size() == slot_of_.size() &&
+         by_end_.size() + free_slots_.size() == slots_.size() &&
+         nodes + available_nodes_ == spec_.total_nodes &&
          std::fabs(mem + available_memory_gb_ - spec_.total_memory_gb) < 1e-6 &&
          available_nodes_ >= 0 && available_memory_gb_ >= -1e-6;
 }

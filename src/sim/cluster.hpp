@@ -1,9 +1,11 @@
 #pragma once
 
-#include <map>
+#include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "sim/job.hpp"
+#include "sim/views.hpp"
 
 namespace reasched::sim {
 
@@ -27,11 +29,27 @@ struct ClusterSpec {
   }
 };
 
+/// One running job's claim on the cluster.
+struct Allocation {
+  Job job;
+  double start_time = 0.0;
+  double end_time = 0.0;
+};
+
+using AllocationListView = ListView<Allocation>;
+
 /// Mutable resource ledger: which jobs hold nodes/memory right now.
 /// Enforces the two capacity constraints of Section 3.3
 ///   sum nodes(active) <= N_total,  sum mem(active) <= M_total
 /// by construction - allocate() throws if either would be violated, so any
 /// scheduler bug is caught at the source.
+///
+/// Storage is a flat slot arena (freed slots are reused) with two indexes:
+/// a JobId -> slot hash map for O(1) membership/release lookups and an
+/// end-time-ordered index maintained incrementally on allocate/release
+/// (O(log n_running) search plus an index-array shift), so running_view()
+/// is zero-copy and O(1) per decision instead of the seed's copy-and-sort
+/// of every allocation on every scheduler query.
 class ClusterState {
  public:
   explicit ClusterState(ClusterSpec spec);
@@ -49,11 +67,8 @@ class ClusterState {
   /// unschedulable and rejected at submission.
   bool fits_empty(const Job& job) const;
 
-  struct Allocation {
-    Job job;
-    double start_time = 0.0;
-    double end_time = 0.0;
-  };
+  /// Compatibility alias; allocations live at namespace scope now.
+  using Allocation = sim::Allocation;
 
   /// Claim resources for `job` from `start` to `start + job.duration`.
   /// Throws std::logic_error when capacity would be exceeded or the job id
@@ -62,24 +77,37 @@ class ClusterState {
 
   /// Release a completed job's resources; returns its allocation record.
   /// Throws std::logic_error for unknown ids.
-  Allocation release(JobId id);
+  sim::Allocation release(JobId id);
 
-  bool is_running(JobId id) const { return running_.count(id) != 0; }
-  std::size_t running_count() const { return running_.size(); }
+  bool is_running(JobId id) const { return slot_of_.count(id) != 0; }
+  std::size_t running_count() const { return slot_of_.size(); }
 
-  /// Running allocations sorted by end time (soonest first) - what a
-  /// backfilling scheduler needs to compute shadow windows.
-  std::vector<Allocation> running_by_end_time() const;
+  /// Zero-copy view of running allocations in end-time order (soonest
+  /// first, ties by job id) - what a backfilling scheduler needs to compute
+  /// shadow windows. Valid until the next allocate()/release().
+  AllocationListView running_view() const {
+    return {slots_.data(), by_end_.data(), by_end_.size()};
+  }
+
+  /// Copying form of running_view(), kept for callers that need ownership
+  /// (test fixtures, offline snapshots).
+  std::vector<sim::Allocation> running_by_end_time() const;
 
   /// Internal-consistency check (sums match capacities); used by tests and
   /// debug assertions.
   bool invariants_hold() const;
 
  private:
+  /// Position of `slot` in by_end_ (exact key search; throws if absent).
+  std::size_t end_index_position(std::uint32_t slot) const;
+
   ClusterSpec spec_;
   int available_nodes_;
   double available_memory_gb_;
-  std::map<JobId, Allocation> running_;
+  std::vector<sim::Allocation> slots_;     ///< flat ledger; freed slots reused
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> by_end_;      ///< slots ordered by (end_time, id)
+  std::unordered_map<JobId, std::uint32_t> slot_of_;
 };
 
 }  // namespace reasched::sim

@@ -27,18 +27,16 @@ Validation ConstraintChecker::check(const Action& action, const DecisionContext&
 
     case ActionType::kStartJob:
     case ActionType::kBackfillJob: {
-      const auto it = std::find_if(ctx.waiting.begin(), ctx.waiting.end(),
-                                   [&](const Job& j) { return j.id == action.job_id; });
-      if (it == ctx.waiting.end()) {
+      // O(1) against the engine's job index (linear only for ad-hoc
+      // contexts without one).
+      const Job* waiting = ctx.find_waiting(action.job_id);
+      if (waiting == nullptr) {
         if (ctx.cluster.is_running(action.job_id)) {
           return {ViolationCode::kAlreadyRunning,
                   util::format("Job %d is already running; it cannot be started twice.",
                                action.job_id)};
         }
-        const auto dep_it =
-            std::find_if(ctx.ineligible.begin(), ctx.ineligible.end(),
-                         [&](const Job& j) { return j.id == action.job_id; });
-        if (dep_it != ctx.ineligible.end()) {
+        if (ctx.find_ineligible(action.job_id) != nullptr) {
           return {ViolationCode::kDependencyUnmet,
                   util::format("Job %d is not yet eligible - it depends on jobs that have "
                                "not completed.",
@@ -47,7 +45,7 @@ Validation ConstraintChecker::check(const Action& action, const DecisionContext&
         return {ViolationCode::kUnknownJob,
                 util::format("Job %d is not in the waiting queue.", action.job_id)};
       }
-      const Job& job = *it;
+      const Job& job = *waiting;
       if (job.nodes > ctx.cluster.available_nodes()) {
         return {ViolationCode::kInsufficientNodes,
                 util::format("Job %d cannot be started - requires %d Nodes, %.0f GB; "

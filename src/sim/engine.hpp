@@ -1,11 +1,11 @@
 #pragma once
 
-#include <set>
 #include <vector>
 
 #include "sim/cluster.hpp"
 #include "sim/constraint_checker.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/job_table.hpp"
 #include "sim/schedule_result.hpp"
 #include "sim/scheduler.hpp"
 
@@ -43,6 +43,12 @@ struct EngineConfig {
 ///
 /// The engine owns constraint enforcement, so scheduling policies - LLM or
 /// heuristic - cannot corrupt cluster state even when buggy.
+///
+/// Per-run state is fully indexed (JobTable arena + ordered waiting index +
+/// dependency counters; ClusterState flat ledger + end-time index), so the
+/// cost of a decision point is O(1) context construction plus the
+/// scheduler's own work - see ARCHITECTURE.md and, for the pre-refactor
+/// semantics baseline, ReferenceEngine.
 class Engine {
  public:
   explicit Engine(EngineConfig config = {});
@@ -61,7 +67,6 @@ class Engine {
   /// Query/execute loop at one decision point; returns false once Stop was
   /// accepted.
   void decision_phase(RunState& rs, double now);
-  void promote_eligible(RunState& rs);
   void execute_start(RunState& rs, double now, const Job& job, bool backfill);
   void emergency_start(RunState& rs, double now);
 

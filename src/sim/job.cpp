@@ -25,6 +25,7 @@ const char* to_string(JobState s) {
     case JobState::kWaiting: return "waiting";
     case JobState::kRunning: return "running";
     case JobState::kCompleted: return "completed";
+    case JobState::kBlocked: return "blocked";
   }
   return "?";
 }

@@ -1,0 +1,113 @@
+#include "sim/job_table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/string_utils.hpp"
+
+namespace reasched::sim {
+
+void JobTable::build(const std::vector<Job>& jobs) {
+  jobs_ = jobs;
+  meta_.assign(jobs_.size(), Meta{});
+  waiting_.clear();
+  ineligible_.clear();
+  id_to_index_.clear();
+  id_to_index_.reserve(jobs_.size());
+  for (std::uint32_t i = 0; i < jobs_.size(); ++i) {
+    if (!id_to_index_.emplace(jobs_[i].id, i).second) {
+      throw std::invalid_argument(util::format("JobTable: duplicate job id %d", jobs_[i].id));
+    }
+  }
+  for (std::uint32_t i = 0; i < jobs_.size(); ++i) {
+    meta_[i].remaining_deps = static_cast<std::uint32_t>(jobs_[i].dependencies.size());
+    for (const JobId dep : jobs_[i].dependencies) {
+      meta_[index_of(dep)].dependents.push_back(i);
+    }
+  }
+  waiting_.reserve(jobs_.size());
+}
+
+std::uint32_t JobTable::index_of(JobId id) const {
+  const auto it = id_to_index_.find(id);
+  if (it == id_to_index_.end()) {
+    throw std::logic_error(util::format("JobTable: unknown job id %d", id));
+  }
+  return it->second;
+}
+
+void JobTable::insert_waiting(std::uint32_t idx) {
+  const Job& j = jobs_[idx];
+  const auto pos = std::lower_bound(
+      waiting_.begin(), waiting_.end(), idx,
+      [&](std::uint32_t a, std::uint32_t) { return arrival_order(jobs_[a], j); });
+  waiting_.insert(pos, idx);
+  meta_[idx].state = JobState::kWaiting;
+}
+
+void JobTable::erase_waiting(std::uint32_t idx) {
+  const Job& j = jobs_[idx];
+  const auto pos = std::lower_bound(
+      waiting_.begin(), waiting_.end(), idx,
+      [&](std::uint32_t a, std::uint32_t) { return arrival_order(jobs_[a], j); });
+  if (pos == waiting_.end() || *pos != idx) {
+    throw std::logic_error("JobTable: waiting index out of sync");
+  }
+  waiting_.erase(pos);
+}
+
+void JobTable::promote(std::uint32_t idx) {
+  const auto pos = std::find(ineligible_.begin(), ineligible_.end(), idx);
+  if (pos == ineligible_.end()) {
+    throw std::logic_error("JobTable: blocked job missing from ineligible list");
+  }
+  ineligible_.erase(pos);
+  insert_waiting(idx);
+}
+
+void JobTable::arrive(JobId id) {
+  const std::uint32_t idx = index_of(id);
+  if (meta_[idx].state != JobState::kPending) {
+    throw std::logic_error(util::format("JobTable: job %d arrived twice", id));
+  }
+  if (meta_[idx].remaining_deps == 0) {
+    insert_waiting(idx);
+  } else {
+    ineligible_.push_back(idx);
+    meta_[idx].state = JobState::kBlocked;
+  }
+}
+
+void JobTable::start(JobId id) {
+  const std::uint32_t idx = index_of(id);
+  if (meta_[idx].state != JobState::kWaiting) {
+    throw std::logic_error(util::format("JobTable: starting job %d that is not waiting", id));
+  }
+  erase_waiting(idx);
+  meta_[idx].state = JobState::kRunning;
+}
+
+void JobTable::complete(JobId id) {
+  const std::uint32_t idx = index_of(id);
+  meta_[idx].state = JobState::kCompleted;
+  for (const std::uint32_t dep_idx : meta_[idx].dependents) {
+    Meta& m = meta_[dep_idx];
+    if (--m.remaining_deps == 0 && m.state == JobState::kBlocked) {
+      promote(dep_idx);
+    }
+  }
+}
+
+const Job* JobTable::find_waiting(JobId id) const {
+  const auto it = id_to_index_.find(id);
+  if (it == id_to_index_.end() || meta_[it->second].state != JobState::kWaiting) return nullptr;
+  return &jobs_[it->second];
+}
+
+const Job* JobTable::find_ineligible(JobId id) const {
+  const auto it = id_to_index_.find(id);
+  if (it == id_to_index_.end() || meta_[it->second].state != JobState::kBlocked) return nullptr;
+  return &jobs_[it->second];
+}
+
+}  // namespace reasched::sim

@@ -1,0 +1,91 @@
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/job.hpp"
+#include "sim/views.hpp"
+
+namespace reasched::sim {
+
+/// Indexed per-run job state for the engine: a contiguous job arena keyed by
+/// dense index, an ordered waiting index, and reverse-dependency adjacency
+/// with remaining-count counters.
+///
+/// This replaces the seed representation (std::map<JobId, Job> plus
+/// sorted-vector `waiting` that was fully re-sorted after every event and
+/// erased by linear scan on every start) with per-transition costs of an
+/// O(log n) position search plus an O(n_waiting) shift of 4-byte indices
+/// (a memmove, vs the seed's O(n log n) re-sort of whole Job objects) and
+/// O(out-degree) dependency promotion, so a run over 10^5 jobs no longer
+/// pays O(n) Job copies and comparisons per decision just for bookkeeping.
+///
+/// The arena is immutable after build(): Job storage is contiguous and
+/// stable, which is what lets DecisionContext hand out zero-copy views.
+class JobTable {
+ public:
+  /// Load the arena from `jobs` (ids must be unique and dependency
+  /// references valid - the engine validates before building). Resets all
+  /// lifecycle state.
+  void build(const std::vector<Job>& jobs);
+
+  std::size_t size() const { return jobs_.size(); }
+  std::size_t n_waiting() const { return waiting_.size(); }
+  std::size_t n_ineligible() const { return ineligible_.size(); }
+
+  const Job& job(JobId id) const { return jobs_[index_of(id)]; }
+  JobState state(JobId id) const { return meta_[index_of(id)].state; }
+  bool is_completed(JobId id) const { return state(id) == JobState::kCompleted; }
+
+  /// Arrival event fired: the job enters the waiting index when its
+  /// dependencies are already satisfied, the blocked list otherwise.
+  void arrive(JobId id);
+
+  /// A waiting job was started: remove it from the waiting index.
+  void start(JobId id);
+
+  /// Completion event fired: mark completed and decrement each dependent's
+  /// remaining-dependency counter, promoting arrived dependents whose last
+  /// dependency this was. O(out-degree) amortized - no scan over all jobs.
+  void complete(JobId id);
+
+  void mark_killed(JobId id) { meta_[index_of(id)].killed = true; }
+  bool killed(JobId id) const { return meta_[index_of(id)].killed; }
+
+  /// O(1) lookups backing DecisionContext/ConstraintChecker queries.
+  const Job* find_waiting(JobId id) const;
+  const Job* find_ineligible(JobId id) const;
+
+  /// Zero-copy view of eligible jobs in arrival order (submit_time, id).
+  ListView<Job> waiting_view() const {
+    return {jobs_.data(), waiting_.data(), waiting_.size()};
+  }
+  /// Zero-copy view of arrived-but-blocked jobs, in arrival-event order
+  /// (matches the seed's std::vector push_back order).
+  ListView<Job> ineligible_view() const {
+    return {jobs_.data(), ineligible_.data(), ineligible_.size()};
+  }
+
+ private:
+  struct Meta {
+    JobState state = JobState::kPending;
+    std::uint32_t remaining_deps = 0;
+    bool killed = false;
+    /// Dense indices of jobs that depend on this one (reverse adjacency).
+    std::vector<std::uint32_t> dependents;
+  };
+
+  std::uint32_t index_of(JobId id) const;
+  void insert_waiting(std::uint32_t idx);
+  void erase_waiting(std::uint32_t idx);
+  void promote(std::uint32_t idx);
+
+  std::vector<Job> jobs_;   ///< arena, dense-index keyed, stable after build
+  std::vector<Meta> meta_;  ///< parallel to jobs_
+  std::vector<std::uint32_t> waiting_;     ///< sorted by arrival_order
+  std::vector<std::uint32_t> ineligible_;  ///< arrival-event order
+  std::unordered_map<JobId, std::uint32_t> id_to_index_;
+};
+
+}  // namespace reasched::sim

@@ -1,9 +1,10 @@
-#include "sim/engine.hpp"
+#include "sim/reference_engine.hpp"
 
 #include <algorithm>
 #include <cmath>
+#include <map>
+#include <set>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "sim/feedback.hpp"
 #include "util/logging.hpp"
@@ -11,41 +12,31 @@
 
 namespace reasched::sim {
 
-struct Engine::RunState {
+struct ReferenceEngine::RunState {
   explicit RunState(ClusterSpec spec) : cluster(spec) {}
 
   ClusterState cluster;
   EventQueue events;
-  JobTable table;
+  std::map<JobId, Job> all_jobs;
+  std::vector<Job> waiting;     ///< eligible, arrival order
+  std::vector<Job> ineligible;  ///< arrived, dependencies unmet
+  std::set<JobId> completed_ids;
+  std::set<JobId> killed;       ///< terminated at walltime (enforce_walltime)
   ScheduleResult result;
   Scheduler* scheduler = nullptr;
   bool stopped = false;
-
-  DecisionContext context(double now) const {
-    return DecisionContext{now,
-                           cluster,
-                           table.waiting_view(),
-                           table.ineligible_view(),
-                           cluster.running_view(),
-                           result.completed,
-                           events.has_pending_arrivals(),
-                           table.size(),
-                           &table};
-  }
 };
 
-Engine::Engine(EngineConfig config) : config_(config) {}
+ReferenceEngine::ReferenceEngine(EngineConfig config) : config_(config) {}
 
-void Engine::validate_jobs(const std::vector<Job>& jobs) const {
+void ReferenceEngine::validate_jobs(const std::vector<Job>& jobs) const {
   const ClusterState probe(config_.cluster);
-  std::unordered_map<JobId, std::size_t> index;
-  index.reserve(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const Job& j = jobs[i];
+  std::set<JobId> ids;
+  for (const Job& j : jobs) {
     if (!j.valid()) {
       throw std::invalid_argument(util::format("Engine: job %d is malformed", j.id));
     }
-    if (!index.emplace(j.id, i).second) {
+    if (!ids.insert(j.id).second) {
       throw std::invalid_argument(util::format("Engine: duplicate job id %d", j.id));
     }
     if (!probe.fits_empty(j)) {
@@ -54,35 +45,35 @@ void Engine::validate_jobs(const std::vector<Job>& jobs) const {
           j.memory_gb));
     }
   }
-  // Dependency references must exist and form a DAG (Kahn's algorithm over
-  // dense indices: O(V + E)).
-  std::vector<int> indegree(jobs.size(), 0);
-  std::vector<std::vector<std::size_t>> successors(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const Job& j = jobs[i];
+  // Dependency references must exist and form a DAG.
+  for (const Job& j : jobs) {
     for (const JobId dep : j.dependencies) {
-      const auto it = index.find(dep);
-      if (it == index.end()) {
+      if (ids.count(dep) == 0) {
         throw std::invalid_argument(
             util::format("Engine: job %d depends on unknown job %d", j.id, dep));
       }
       if (dep == j.id) {
         throw std::invalid_argument(util::format("Engine: job %d depends on itself", j.id));
       }
-      ++indegree[i];
-      successors[it->second].push_back(i);
     }
   }
-  std::vector<std::size_t> frontier;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (indegree[i] == 0) frontier.push_back(i);
+  // Kahn's algorithm for cycle detection.
+  std::map<JobId, int> indegree;
+  std::map<JobId, std::vector<JobId>> successors;
+  for (const Job& j : jobs) indegree[j.id] = static_cast<int>(j.dependencies.size());
+  for (const Job& j : jobs) {
+    for (const JobId dep : j.dependencies) successors[dep].push_back(j.id);
+  }
+  std::vector<JobId> frontier;
+  for (const auto& [id, deg] : indegree) {
+    if (deg == 0) frontier.push_back(id);
   }
   std::size_t visited = 0;
   while (!frontier.empty()) {
-    const std::size_t i = frontier.back();
+    const JobId id = frontier.back();
     frontier.pop_back();
     ++visited;
-    for (const std::size_t succ : successors[i]) {
+    for (const JobId succ : successors[id]) {
       if (--indegree[succ] == 0) frontier.push_back(succ);
     }
   }
@@ -91,45 +82,65 @@ void Engine::validate_jobs(const std::vector<Job>& jobs) const {
   }
 }
 
-void Engine::process_events_at(RunState& rs, double now) {
+void ReferenceEngine::promote_eligible(RunState& rs) {
+  auto ready = [&rs](const Job& j) {
+    return std::all_of(j.dependencies.begin(), j.dependencies.end(),
+                       [&rs](JobId d) { return rs.completed_ids.count(d) != 0; });
+  };
+  for (auto it = rs.ineligible.begin(); it != rs.ineligible.end();) {
+    if (ready(*it)) {
+      rs.waiting.push_back(*it);
+      it = rs.ineligible.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  std::sort(rs.waiting.begin(), rs.waiting.end(), arrival_order);
+}
+
+void ReferenceEngine::process_events_at(RunState& rs, double now) {
   while (!rs.events.empty() && same_event_time(rs.events.next_time(), now)) {
     const Event e = rs.events.pop();
     if (e.type == EventType::kCompletion) {
       const auto alloc = rs.cluster.release(e.job_id);
       CompletedJob record{alloc.job, alloc.start_time, alloc.end_time,
-                          rs.table.killed(e.job_id)};
+                          rs.killed.count(e.job_id) != 0};
       // Report the job as submitted (original duration), even when killed.
-      record.job = rs.table.job(e.job_id);
+      record.job = rs.all_jobs.at(e.job_id);
       rs.result.completed.push_back(std::move(record));
-      rs.table.complete(e.job_id);
+      rs.completed_ids.insert(e.job_id);
       rs.result.final_time = std::max(rs.result.final_time, alloc.end_time);
     } else {
-      rs.table.arrive(e.job_id);
+      const Job& job = rs.all_jobs.at(e.job_id);
+      const bool ready = std::all_of(
+          job.dependencies.begin(), job.dependencies.end(),
+          [&rs](JobId d) { return rs.completed_ids.count(d) != 0; });
+      (ready ? rs.waiting : rs.ineligible).push_back(job);
     }
   }
+  promote_eligible(rs);
 }
 
-void Engine::execute_start(RunState& rs, double now, const Job& job, bool backfill) {
+void ReferenceEngine::execute_start(RunState& rs, double now, const Job& job, bool backfill) {
   Job effective = job;
   if (config_.enforce_walltime && effective.duration > effective.walltime) {
     // The resource manager terminates the job at its requested limit.
     effective.duration = effective.walltime;
-    rs.table.mark_killed(effective.id);
+    rs.killed.insert(effective.id);
   }
   rs.cluster.allocate(effective, now);
   rs.events.push(now + effective.duration, EventType::kCompletion, effective.id);
-  rs.table.start(job.id);
+  rs.waiting.erase(std::remove_if(rs.waiting.begin(), rs.waiting.end(),
+                                  [&](const Job& j) { return j.id == job.id; }),
+                   rs.waiting.end());
   if (backfill) ++rs.result.n_backfills;
 }
 
-void Engine::emergency_start(RunState& rs, double now) {
-  // Reached only when the scheduler delays with no pending events: nothing
-  // is running, so the full cluster is free and the first waiting job must
-  // fit (capacity-impossible jobs were rejected at submission).
-  for (const Job& job : rs.table.waiting_view()) {
+void ReferenceEngine::emergency_start(RunState& rs, double now) {
+  for (const Job& job : rs.waiting) {
     if (rs.cluster.fits(job)) {
-      LOG_WARN("Engine: forcing FCFS start of job " << job.id
-                                                    << " to break a scheduler livelock");
+      LOG_WARN("ReferenceEngine: forcing FCFS start of job "
+               << job.id << " to break a scheduler livelock");
       ++rs.result.n_forced_delays;
       execute_start(rs, now, job, /*backfill=*/false);
       return;
@@ -138,17 +149,23 @@ void Engine::emergency_start(RunState& rs, double now) {
   throw std::logic_error("Engine: livelock with no startable job (unreachable)");
 }
 
-void Engine::decision_phase(RunState& rs, double now) {
+void ReferenceEngine::decision_phase(RunState& rs, double now) {
   int invalid_streak = 0;
   while (!rs.stopped) {
-    const DecisionContext ctx = rs.context(now);
+    // The seed path: every query copies and sorts all running allocations.
+    const auto running = rs.cluster.running_by_end_time();
+    const DecisionContext ctx{now,
+                              rs.cluster,
+                              rs.waiting,
+                              rs.ineligible,
+                              running,
+                              rs.result.completed,
+                              rs.events.has_pending_arrivals(),
+                              rs.all_jobs.size()};
 
-    // The paper queries the agent only when jobs are ready, with one
-    // exception: the terminal state, where the agent is asked once so it can
-    // emit Stop (Figure 2, decision at t=9997).
     const bool terminal_state =
-        ctx.waiting.empty() && ctx.ineligible.empty() && !ctx.arrivals_pending;
-    if (ctx.waiting.empty() && !terminal_state) return;
+        rs.waiting.empty() && rs.ineligible.empty() && !ctx.arrivals_pending;
+    if (rs.waiting.empty() && !terminal_state) return;
 
     const Action action = rs.scheduler->decide(ctx);
     ++rs.result.n_decisions;
@@ -165,13 +182,22 @@ void Engine::decision_phase(RunState& rs, double now) {
       switch (action.type) {
         case ActionType::kStartJob:
         case ActionType::kBackfillJob: {
-          // Checker accepted, so the job is in the waiting index; the arena
-          // reference stays valid across the start transition.
-          const Job& job = *ctx.find_waiting(action.job_id);
+          const Job job = *std::find_if(rs.waiting.begin(), rs.waiting.end(),
+                                        [&](const Job& j) { return j.id == action.job_id; });
           execute_start(rs, now, job, action.type == ActionType::kBackfillJob);
-          // ctx's views were invalidated by the start transition; notify
-          // with a fresh context over the post-action state.
-          rs.scheduler->on_accepted(action, rs.context(now));
+          // The seed passed `ctx` whose vectors execute_start had mutated in
+          // place; with views that would capture stale sizes, so rebuild the
+          // context over the post-action state (receivers in-tree ignore it).
+          const auto running_after = rs.cluster.running_by_end_time();
+          const DecisionContext after{now,
+                                      rs.cluster,
+                                      rs.waiting,
+                                      rs.ineligible,
+                                      running_after,
+                                      rs.result.completed,
+                                      rs.events.has_pending_arrivals(),
+                                      rs.all_jobs.size()};
+          rs.scheduler->on_accepted(action, after);
           break;
         }
         case ActionType::kStop:
@@ -184,8 +210,7 @@ void Engine::decision_phase(RunState& rs, double now) {
       }
       if (config_.record_traces) rs.result.decisions.push_back(std::move(record));
       if (action.type == ActionType::kDelay || action.type == ActionType::kStop) {
-        if (action.type == ActionType::kDelay && rs.events.empty() &&
-            rs.table.n_waiting() > 0) {
+        if (action.type == ActionType::kDelay && rs.events.empty() && !rs.waiting.empty()) {
           emergency_start(rs, now);
           continue;
         }
@@ -206,7 +231,7 @@ void Engine::decision_phase(RunState& rs, double now) {
     }
     if (invalid_streak > config_.max_invalid_retries) {
       ++rs.result.n_forced_delays;
-      if (rs.events.empty() && rs.table.n_waiting() > 0) {
+      if (rs.events.empty() && !rs.waiting.empty()) {
         emergency_start(rs, now);
         invalid_streak = 0;
         continue;
@@ -216,15 +241,14 @@ void Engine::decision_phase(RunState& rs, double now) {
   }
 }
 
-ScheduleResult Engine::run(const std::vector<Job>& jobs, Scheduler& scheduler) {
+ScheduleResult ReferenceEngine::run(const std::vector<Job>& jobs, Scheduler& scheduler) {
   validate_jobs(jobs);
   RunState rs(config_.cluster);
   rs.scheduler = &scheduler;
   scheduler.reset();
 
-  rs.table.build(jobs);
-  rs.result.completed.reserve(jobs.size());
   for (const Job& j : jobs) {
+    rs.all_jobs.emplace(j.id, j);
     rs.events.push(j.submit_time, EventType::kArrival, j.id);
   }
 
@@ -232,14 +256,14 @@ ScheduleResult Engine::run(const std::vector<Job>& jobs, Scheduler& scheduler) {
     const double now = rs.events.next_time();
     process_events_at(rs, now);
     decision_phase(rs, now);
-    if (rs.events.empty() && rs.table.n_waiting() > 0 && !rs.stopped) {
+    if (rs.events.empty() && !rs.waiting.empty() && !rs.stopped) {
       // Scheduler delayed with no future events; force progress.
       emergency_start(rs, now);
       decision_phase(rs, now);
     }
   }
 
-  if (rs.table.n_waiting() > 0 || rs.table.n_ineligible() > 0) {
+  if (!rs.waiting.empty() || !rs.ineligible.empty()) {
     throw std::logic_error("Engine: simulation ended with unscheduled jobs (unreachable)");
   }
   std::sort(rs.result.completed.begin(), rs.result.completed.end(),

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace reasched::sim {
+
+/// The pre-refactor (seed) engine, preserved verbatim as a differential
+/// oracle: same decision loop, same constraint enforcement, but the seed's
+/// state representation - std::map keyed job store, a sorted std::vector of
+/// Job copies as the waiting queue (fully re-sorted after every event batch,
+/// erased by linear scan on every start), an O(n) dependency re-scan in
+/// promote_eligible, and a freshly copied-and-sorted `running` snapshot for
+/// every scheduler query.
+///
+/// Two uses, and only these (new code should never run it for results):
+///  - tests/test_sim_engine_golden.cpp proves Engine reproduces this
+///    engine's decisions, makespans and completion orders bit-identically;
+///  - bench/micro_engine_scaling.cpp measures the speedup of the indexed
+///    engine over this path at scale.
+///
+/// The only deliberate deviation from the seed source is the event-batch
+/// tolerance: it shares Engine's relative same_event_time() so the two
+/// engines agree on event batching at large simulation times (the quantity
+/// under test is the data-structure refactor, not the epsilon fix).
+class ReferenceEngine {
+ public:
+  explicit ReferenceEngine(EngineConfig config = {});
+
+  ScheduleResult run(const std::vector<Job>& jobs, Scheduler& scheduler);
+
+  const EngineConfig& config() const { return config_; }
+
+ private:
+  struct RunState;
+  void validate_jobs(const std::vector<Job>& jobs) const;
+  void process_events_at(RunState& rs, double now);
+  void decision_phase(RunState& rs, double now);
+  void promote_eligible(RunState& rs);
+  void execute_start(RunState& rs, double now, const Job& job, bool backfill);
+  void emergency_start(RunState& rs, double now);
+
+  EngineConfig config_;
+  ConstraintChecker checker_;
+};
+
+}  // namespace reasched::sim

@@ -1,6 +1,24 @@
 #include "sim/scheduler.hpp"
 
+#include "sim/job_table.hpp"
+
 namespace reasched::sim {
+
+const Job* DecisionContext::find_waiting(JobId id) const {
+  if (jobs_index != nullptr) return jobs_index->find_waiting(id);
+  for (const Job& j : waiting) {
+    if (j.id == id) return &j;
+  }
+  return nullptr;
+}
+
+const Job* DecisionContext::find_ineligible(JobId id) const {
+  if (jobs_index != nullptr) return jobs_index->find_ineligible(id);
+  for (const Job& j : ineligible) {
+    if (j.id == id) return &j;
+  }
+  return nullptr;
+}
 
 void Scheduler::on_feedback(const std::string& feedback, const DecisionContext& ctx) {
   (void)feedback;

@@ -7,27 +7,49 @@
 #include "sim/cluster.hpp"
 #include "sim/job.hpp"
 #include "sim/schedule_result.hpp"
+#include "sim/views.hpp"
 
 namespace reasched::sim {
+
+class JobTable;
+
+using JobListView = ListView<Job>;
+using CompletedListView = ListView<CompletedJob>;
 
 /// Everything a scheduling policy may observe at a decision point. This is
 /// the structured form of the paper's prompt state (system capacity, current
 /// time, available resources, running / completed / waiting jobs).
+///
+/// All job/allocation lists are zero-copy views over the engine's indexed
+/// state (ListView supports iteration, indexing and the usual algorithms);
+/// building a context is O(1) and nothing is materialized per decision.
+/// Views are valid only for the duration of the scheduler callback -
+/// schedulers that keep state across calls must copy what they keep.
 struct DecisionContext {
   double now = 0.0;
   const ClusterState& cluster;
   /// Jobs submitted, eligible (dependencies met) and not yet started,
   /// in arrival order.
-  const std::vector<Job>& waiting;
+  JobListView waiting;
   /// Submitted but ineligible jobs (unmet dependencies); shown separately
   /// so the prompt can explain why they cannot run.
-  const std::vector<Job>& ineligible;
-  const std::vector<ClusterState::Allocation>& running;
-  const std::vector<CompletedJob>& completed;
+  JobListView ineligible;
+  /// Running allocations in end-time order (soonest first).
+  AllocationListView running;
+  CompletedListView completed;
   /// True while future arrival events exist - Stop is illegal until false.
   bool arrivals_pending = false;
   /// Total jobs in this experiment instance.
   std::size_t total_jobs = 0;
+  /// Optional O(1) lookup backdoor set by the engine; when null (ad-hoc
+  /// contexts built by tests), the find_* helpers fall back to a linear
+  /// scan over the views.
+  const JobTable* jobs_index = nullptr;
+
+  /// The waiting job with this id, or nullptr. O(1) when engine-built.
+  const Job* find_waiting(JobId id) const;
+  /// The arrived-but-dependency-blocked job with this id, or nullptr.
+  const Job* find_ineligible(JobId id) const;
 };
 
 /// Common interface implemented by every method the paper compares:

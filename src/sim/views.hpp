@@ -1,0 +1,99 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iterator>
+#include <vector>
+
+namespace reasched::sim {
+
+/// Zero-copy, random-access, read-only view over a list of T. This is the
+/// currency of DecisionContext: the engine hands schedulers views over its
+/// indexed state instead of materializing per-decision snapshot vectors.
+///
+/// Two storage modes:
+///  - direct:  a contiguous std::vector<T> (tests and ad-hoc contexts);
+///  - indexed: an arena base pointer plus a dense index array (engine state,
+///    e.g. the waiting index over the job arena or the end-time-ordered
+///    running index over the allocation ledger).
+///
+/// Lifetime contract: a view is valid only while the underlying storage is
+/// alive and unmodified. Views inside a DecisionContext expire when the
+/// scheduler's decide()/on_feedback()/on_accepted() call returns; schedulers
+/// that need state across calls must copy what they keep.
+template <typename T>
+class ListView {
+ public:
+  ListView() = default;
+  /// Direct mode (implicit so existing vector-based call sites keep working).
+  ListView(const std::vector<T>& v) : base_(v.data()), size_(v.size()) {}
+  /// Binding a temporary would dangle at the end of the full expression.
+  ListView(const std::vector<T>&&) = delete;
+  /// Indexed mode: element i is base[index[i]].
+  ListView(const T* base, const std::uint32_t* index, std::size_t n)
+      : base_(base), index_(index), size_(n) {}
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const T& operator[](std::size_t i) const { return index_ ? base_[index_[i]] : base_[i]; }
+  const T& front() const { return (*this)[0]; }
+  const T& back() const { return (*this)[size_ - 1]; }
+
+  /// Random-access iterator yielding const T&. Holds the view by value so
+  /// iterators obtained from a temporary view (e.g. table.waiting_view()
+  /// .begin()) stay valid for as long as the underlying storage does.
+  class iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = T;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const T*;
+    using reference = const T&;
+
+    iterator() = default;
+    iterator(ListView view, std::size_t i) : view_(view), i_(i) {}
+
+    reference operator*() const { return view_[i_]; }
+    pointer operator->() const { return &view_[i_]; }
+    reference operator[](difference_type d) const {
+      return view_[i_ + static_cast<std::size_t>(d)];
+    }
+
+    iterator& operator++() { ++i_; return *this; }
+    iterator operator++(int) { iterator t = *this; ++i_; return t; }
+    iterator& operator--() { --i_; return *this; }
+    iterator operator--(int) { iterator t = *this; --i_; return t; }
+    iterator& operator+=(difference_type d) { i_ = add(i_, d); return *this; }
+    iterator& operator-=(difference_type d) { i_ = add(i_, -d); return *this; }
+    friend iterator operator+(iterator it, difference_type d) { return it += d; }
+    friend iterator operator+(difference_type d, iterator it) { return it += d; }
+    friend iterator operator-(iterator it, difference_type d) { return it -= d; }
+    friend difference_type operator-(const iterator& a, const iterator& b) {
+      return static_cast<difference_type>(a.i_) - static_cast<difference_type>(b.i_);
+    }
+    friend bool operator==(const iterator& a, const iterator& b) { return a.i_ == b.i_; }
+    friend bool operator!=(const iterator& a, const iterator& b) { return a.i_ != b.i_; }
+    friend bool operator<(const iterator& a, const iterator& b) { return a.i_ < b.i_; }
+    friend bool operator<=(const iterator& a, const iterator& b) { return a.i_ <= b.i_; }
+    friend bool operator>(const iterator& a, const iterator& b) { return a.i_ > b.i_; }
+    friend bool operator>=(const iterator& a, const iterator& b) { return a.i_ >= b.i_; }
+
+   private:
+    static std::size_t add(std::size_t i, difference_type d) {
+      return static_cast<std::size_t>(static_cast<difference_type>(i) + d);
+    }
+    ListView view_{};
+    std::size_t i_ = 0;
+  };
+  using const_iterator = iterator;
+
+  iterator begin() const { return {*this, 0}; }
+  iterator end() const { return {*this, size_}; }
+
+ private:
+  const T* base_ = nullptr;
+  const std::uint32_t* index_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace reasched::sim
