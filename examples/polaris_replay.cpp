@@ -6,10 +6,17 @@
 //
 //   ./examples/polaris_replay [--jobs 100] [--seed 11] [--trace file.csv]
 //                             [--save-raw results/polaris_raw.csv]
+//                             [--via-sweep] [--threads N]
+//
+// --via-sweep routes the replay through run_sweep's workload_source hook
+// instead of calling run_method per method: the methods then run in
+// parallel on the harness thread pool, which is how month-scale traces
+// (10^5+ jobs - see bench/micro_policy_scaling) should be replayed.
 
 #include <cstdio>
 
 #include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 #include "metrics/report.hpp"
 #include "util/cli.hpp"
 #include "workload/polaris.hpp"
@@ -46,9 +53,29 @@ int main(int argc, char** argv) {
   engine.cluster = sim::ClusterSpec::polaris();  // 560 nodes, idle at t=0
 
   std::vector<metrics::MethodResult> rows;
-  for (const auto method : harness::paper_methods()) {
-    const auto outcome = harness::run_method(jobs, method, seed, engine);
-    rows.push_back({harness::method_name(method), outcome.metrics});
+  if (args.has("via-sweep")) {
+    harness::SweepConfig sweep;
+    sweep.scenarios = {workload::Scenario::kHeterogeneousMix};  // label only
+    sweep.job_counts = {jobs.size()};
+    sweep.methods = harness::paper_methods();
+    sweep.base_seed = seed;
+    sweep.engine = engine;
+    sweep.threads = static_cast<std::size_t>(args.get_int("threads", 0));
+    // Every cell replays the identical preprocessed trace; the sweep's value
+    // here is the method-parallel thread pool and the shared result plumbing.
+    sweep.workload_source = [&jobs](workload::Scenario, std::size_t, std::uint64_t) {
+      return jobs;
+    };
+    const auto results = harness::run_sweep(sweep);
+    for (const auto method : harness::paper_methods()) {  // presentation order
+      const harness::Cell cell{sweep.scenarios[0], jobs.size(), method, 0};
+      rows.push_back({harness::method_name(method), results.at(cell).metrics});
+    }
+  } else {
+    for (const auto method : harness::paper_methods()) {
+      const auto outcome = harness::run_method(jobs, method, seed, engine);
+      rows.push_back({harness::method_name(method), outcome.metrics});
+    }
   }
   std::printf("Normalized performance on the Polaris trace (FCFS = 1.0):\n\n%s",
               metrics::render_normalized_table(rows, "FCFS").c_str());

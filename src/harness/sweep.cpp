@@ -21,6 +21,9 @@ std::vector<sim::Job> cell_jobs(const SweepConfig& config, workload::Scenario sc
   const std::uint64_t workload_seed = util::derive_seed(
       util::derive_seed(config.base_seed, workload::to_string(scenario), n_jobs), "rep",
       repetition);
+  if (config.workload_source) {
+    return config.workload_source(scenario, n_jobs, workload_seed);
+  }
   return workload::make_generator(scenario)->generate(n_jobs, workload_seed,
                                                       config.arrival_mode,
                                                       config.engine.cluster);

@@ -30,6 +30,15 @@ struct SweepConfig {
   sim::EngineConfig engine;
   /// Worker threads for independent cells (0 = hardware concurrency).
   std::size_t threads = 0;
+  /// Optional workload source replacing the scenario generators - how trace
+  /// replays (SWF files, Polaris trace substitutes) ride through the same
+  /// grid, pairing and aggregation machinery. Called once per distinct
+  /// (scenario, n_jobs, repetition) with the cell's derived workload seed;
+  /// must be deterministic in its arguments and safe to call from worker
+  /// threads. The scenario axis degrades to a label for the result keys.
+  std::function<std::vector<sim::Job>(workload::Scenario scenario, std::size_t n_jobs,
+                                      std::uint64_t workload_seed)>
+      workload_source;
 };
 
 /// Run the full grid. Each cell draws its workload from a seed derived from

@@ -1,27 +1,8 @@
 #include "sched/easy_backfill.hpp"
 
-#include <limits>
+#include "sim/event.hpp"
 
 namespace reasched::sched {
-
-EasyBackfillScheduler::Shadow EasyBackfillScheduler::compute_shadow(
-    const sim::DecisionContext& ctx, const sim::Job& head) {
-  // Walk completions in end-time order, accumulating released resources
-  // until the head job fits.
-  int nodes = ctx.cluster.available_nodes();
-  double memory = ctx.cluster.available_memory_gb();
-  Shadow s;
-  s.time = ctx.now;
-  for (const auto& alloc : ctx.running) {  // sorted by end time
-    if (nodes >= head.nodes && memory >= head.memory_gb) break;
-    nodes += alloc.job.nodes;
-    memory += alloc.job.memory_gb;
-    s.time = alloc.end_time;
-  }
-  s.spare_nodes = nodes - head.nodes;
-  s.spare_memory = memory - head.memory_gb;
-  return s;
-}
 
 sim::Action EasyBackfillScheduler::decide(const sim::DecisionContext& ctx) {
   if (ctx.waiting.empty()) {
@@ -31,16 +12,26 @@ sim::Action EasyBackfillScheduler::decide(const sim::DecisionContext& ctx) {
   const sim::Job& head = ctx.waiting.front();
   if (ctx.cluster.fits(head)) return sim::Action::start(head.id);
 
-  const Shadow shadow = compute_shadow(ctx, head);
-  for (std::size_t i = 1; i < ctx.waiting.size(); ++i) {
-    const sim::Job& cand = ctx.waiting[i];
-    if (!ctx.cluster.fits(cand)) continue;
-    const bool finishes_before_shadow = ctx.now + cand.walltime <= shadow.time + 1e-9;
-    const bool within_spare =
-        cand.nodes <= shadow.spare_nodes && cand.memory_gb <= shadow.spare_memory + 1e-9;
-    if (finishes_before_shadow || within_spare) {
-      return sim::Action::backfill(cand.id);
-    }
+  // Reserve the head's shadow window, then look for the first queued job
+  // that fits now without disturbing it.
+  const sim::FitProjection shadow = ctx.cluster.earliest_fit(head.nodes, head.memory_gb, ctx.now);
+  const auto eligible = [&](const sim::Job& cand) {
+    if (!ctx.cluster.fits(cand)) return false;
+    const bool finishes_before_shadow = sim::tol_leq(ctx.now + cand.walltime, shadow.time);
+    const bool within_spare = cand.nodes <= shadow.spare_nodes &&
+                              sim::tol_leq(cand.memory_gb, shadow.spare_memory_gb);
+    return finishes_before_shadow || within_spare;
+  };
+  // Subtree pruning with the same tests applied to per-field minima - a
+  // necessary condition for any leaf below to be eligible.
+  const auto could_contain = [&](const sim::WaitingAggregate& a) {
+    if (!ctx.cluster.fits(a.min_nodes, a.min_memory_gb)) return false;
+    return sim::tol_leq(ctx.now + a.min_walltime, shadow.time) ||
+           (a.min_nodes <= shadow.spare_nodes &&
+            sim::tol_leq(a.min_memory_gb, shadow.spare_memory_gb));
+  };
+  if (const sim::Job* cand = ctx.first_waiting_after_head(eligible, could_contain)) {
+    return sim::Action::backfill(cand->id);
   }
   return sim::Action::delay();
 }

@@ -10,20 +10,22 @@ namespace reasched::sched {
 /// delay the head's reservation (either it finishes before the shadow time
 /// or it uses only the nodes/memory left over at the shadow time).
 ///
+/// Per decision this costs O(log n): the head's shadow comes from
+/// ClusterState::earliest_fit (binary search over incrementally maintained
+/// release-prefix aggregates) and the candidate search descends the
+/// JobTable's arrival-rank segment tree instead of scanning the queue. The
+/// time/memory eligibility comparisons use the relative tol_leq tolerance -
+/// the former absolute 1e-9 epsilons were below one ulp at Polaris time
+/// scales (~1e7 s), so eligibility flipped on floating-point noise late in
+/// a trace. LinearEasyBackfillScheduler preserves the pre-index scans for
+/// golden comparison.
+///
 /// Not part of the paper's comparison set - included as an extension so the
 /// LLM agent can be measured against the heuristic HPC sites actually run.
 class EasyBackfillScheduler final : public sim::Scheduler {
  public:
   sim::Action decide(const sim::DecisionContext& ctx) override;
   std::string name() const override { return "EASY-Backfill"; }
-
- private:
-  struct Shadow {
-    double time = 0.0;       ///< earliest time the head job can start
-    int spare_nodes = 0;     ///< nodes free at shadow time after head starts
-    double spare_memory = 0; ///< memory free at shadow time after head starts
-  };
-  static Shadow compute_shadow(const sim::DecisionContext& ctx, const sim::Job& head);
 };
 
 }  // namespace reasched::sched

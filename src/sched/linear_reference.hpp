@@ -1,0 +1,41 @@
+#pragma once
+
+#include "sim/scheduler.hpp"
+
+namespace reasched::sched {
+
+/// Pre-index reference policies: the SJF and EASY implementations exactly as
+/// they were before the policy-side indexes landed - a full min_element scan
+/// of the waiting queue per decision (SJF) and a per-query walk over every
+/// running allocation plus a linear candidate scan (EASY). They use the same
+/// tolerance-correct comparisons as the indexed policies, so differential
+/// runs isolate the indexing alone.
+///
+/// They exist for exactly two call sites, mirroring sim::ReferenceEngine:
+/// tests/test_sched_policy_golden.cpp proves the indexed policies reproduce
+/// these decision traces bit-for-bit, and bench/micro_policy_scaling.cpp
+/// measures the speedup. Do not use them in experiments.
+
+/// O(n_waiting)-per-decision SJF (seed semantics).
+class LinearSjfScheduler final : public sim::Scheduler {
+ public:
+  sim::Action decide(const sim::DecisionContext& ctx) override;
+  std::string name() const override { return "SJF"; }
+};
+
+/// O(n_running + n_waiting)-per-decision EASY backfilling (seed semantics).
+class LinearEasyBackfillScheduler final : public sim::Scheduler {
+ public:
+  sim::Action decide(const sim::DecisionContext& ctx) override;
+  std::string name() const override { return "EASY-Backfill"; }
+
+ private:
+  struct Shadow {
+    double time = 0.0;        ///< earliest time the head job can start
+    int spare_nodes = 0;      ///< nodes free at shadow time after head starts
+    double spare_memory = 0;  ///< memory free at shadow time after head starts
+  };
+  static Shadow compute_shadow(const sim::DecisionContext& ctx, const sim::Job& head);
+};
+
+}  // namespace reasched::sched

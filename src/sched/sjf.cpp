@@ -1,7 +1,5 @@
 #include "sched/sjf.hpp"
 
-#include <algorithm>
-
 namespace reasched::sched {
 
 sim::Action SjfScheduler::decide(const sim::DecisionContext& ctx) {
@@ -9,12 +7,10 @@ sim::Action SjfScheduler::decide(const sim::DecisionContext& ctx) {
     return ctx.arrivals_pending || !ctx.ineligible.empty() ? sim::Action::delay()
                                                            : sim::Action::stop();
   }
-  const auto shortest = std::min_element(
-      ctx.waiting.begin(), ctx.waiting.end(), [](const sim::Job& a, const sim::Job& b) {
-        if (a.walltime != b.walltime) return a.walltime < b.walltime;
-        return sim::arrival_order(a, b);
-      });
-  if (ctx.cluster.fits(*shortest)) return sim::Action::start(shortest->id);
+  // O(1) through the engine's walltime-ordered waiting index (linear scan on
+  // ad-hoc contexts); sjf_order's arrival tie-break keeps the pick unique.
+  const sim::Job& shortest = *ctx.shortest_waiting();
+  if (ctx.cluster.fits(shortest)) return sim::Action::start(shortest.id);
   return sim::Action::delay();
 }
 

@@ -28,8 +28,10 @@ ClusterState::ClusterState(ClusterSpec spec)
   }
 }
 
-bool ClusterState::fits(const Job& job) const {
-  return job.nodes <= available_nodes_ && job.memory_gb <= available_memory_gb_ + 1e-9;
+bool ClusterState::fits(const Job& job) const { return fits(job.nodes, job.memory_gb); }
+
+bool ClusterState::fits(int nodes, double memory_gb) const {
+  return nodes <= available_nodes_ && memory_gb <= available_memory_gb_ + 1e-9;
 }
 
 bool ClusterState::fits_empty(const Job& job) const {
@@ -63,8 +65,10 @@ void ClusterState::allocate(const Job& job, double start) {
       by_end_.begin(), by_end_.end(), slot, [&](std::uint32_t s, std::uint32_t) {
         return end_key_less(slots_[s].end_time, slots_[s].job.id, a.end_time, a.job.id);
       });
+  const std::size_t inserted_at = static_cast<std::size_t>(pos - by_end_.begin());
   by_end_.insert(pos, slot);
   slot_of_.emplace(job.id, slot);
+  rebuild_release_prefix(inserted_at);
 }
 
 std::size_t ClusterState::end_index_position(std::uint32_t slot) const {
@@ -85,13 +89,57 @@ Allocation ClusterState::release(JobId id) {
     throw std::logic_error(util::format("ClusterState: release of unknown job %d", id));
   }
   const std::uint32_t slot = it->second;
-  by_end_.erase(by_end_.begin() + static_cast<std::ptrdiff_t>(end_index_position(slot)));
+  const std::size_t erased_at = end_index_position(slot);
+  by_end_.erase(by_end_.begin() + static_cast<std::ptrdiff_t>(erased_at));
+  rebuild_release_prefix(erased_at);
   slot_of_.erase(it);
   Allocation alloc = std::move(slots_[slot]);
   free_slots_.push_back(slot);
   available_nodes_ += alloc.job.nodes;
   available_memory_gb_ += alloc.job.memory_gb;
   return alloc;
+}
+
+void ClusterState::rebuild_release_prefix(std::size_t from) {
+  cum_release_nodes_.resize(by_end_.size());
+  cum_release_memory_.resize(by_end_.size());
+  int nodes = from > 0 ? cum_release_nodes_[from - 1] : 0;
+  double memory = from > 0 ? cum_release_memory_[from - 1] : 0.0;
+  for (std::size_t i = from; i < by_end_.size(); ++i) {
+    const Job& j = slots_[by_end_[i]].job;
+    nodes += j.nodes;
+    memory += j.memory_gb;
+    cum_release_nodes_[i] = nodes;
+    cum_release_memory_[i] = memory;
+  }
+}
+
+FitProjection ClusterState::earliest_fit(int nodes, double memory_gb, double now) const {
+  // Smallest prefix k (0 = nothing released) whose cumulative release covers
+  // each demand; the binding one decides the projected start.
+  std::size_t k_nodes = 0;
+  if (nodes > available_nodes_) {
+    const int needed = nodes - available_nodes_;
+    k_nodes = static_cast<std::size_t>(
+        std::partition_point(cum_release_nodes_.begin(), cum_release_nodes_.end(),
+                             [&](int cum) { return cum < needed; }) -
+        cum_release_nodes_.begin()) + 1;
+  }
+  std::size_t k_memory = 0;
+  if (memory_gb > available_memory_gb_) {
+    k_memory = static_cast<std::size_t>(
+        std::partition_point(cum_release_memory_.begin(), cum_release_memory_.end(),
+                             [&](double cum) { return available_memory_gb_ + cum < memory_gb; }) -
+        cum_release_memory_.begin()) + 1;
+  }
+  const std::size_t k = std::min(std::max(k_nodes, k_memory), by_end_.size());
+
+  FitProjection p;
+  p.time = k == 0 ? now : slots_[by_end_[k - 1]].end_time;
+  p.spare_nodes = available_nodes_ + (k > 0 ? cum_release_nodes_[k - 1] : 0) - nodes;
+  p.spare_memory_gb =
+      available_memory_gb_ + (k > 0 ? cum_release_memory_[k - 1] : 0.0) - memory_gb;
+  return p;
 }
 
 std::vector<Allocation> ClusterState::running_by_end_time() const {
@@ -104,9 +152,17 @@ std::vector<Allocation> ClusterState::running_by_end_time() const {
 bool ClusterState::invariants_hold() const {
   int nodes = 0;
   double mem = 0.0;
-  for (const std::uint32_t slot : by_end_) {
+  if (cum_release_nodes_.size() != by_end_.size() ||
+      cum_release_memory_.size() != by_end_.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < by_end_.size(); ++i) {
+    const std::uint32_t slot = by_end_[i];
     nodes += slots_[slot].job.nodes;
     mem += slots_[slot].job.memory_gb;
+    if (cum_release_nodes_[i] != nodes || std::fabs(cum_release_memory_[i] - mem) > 1e-6) {
+      return false;
+    }
   }
   const bool ordered = std::is_sorted(
       by_end_.begin(), by_end_.end(), [&](std::uint32_t a, std::uint32_t b) {

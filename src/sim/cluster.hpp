@@ -38,6 +38,17 @@ struct Allocation {
 
 using AllocationListView = ListView<Allocation>;
 
+/// Result of ClusterState::earliest_fit - the projected moment a resource
+/// request can be satisfied if nothing new starts, plus what remains free
+/// once it does. This is exactly the "shadow" a backfilling policy reserves
+/// for its head-of-queue job.
+struct FitProjection {
+  double time = 0.0;           ///< earliest time the request fits (now if immediately)
+  int spare_nodes = 0;         ///< nodes left over at `time` after the request
+  double spare_memory_gb = 0.0;  ///< memory left over at `time` (negative if the
+                                 ///< request exceeds even the fully drained cluster)
+};
+
 /// Mutable resource ledger: which jobs hold nodes/memory right now.
 /// Enforces the two capacity constraints of Section 3.3
 ///   sum nodes(active) <= N_total,  sum mem(active) <= M_total
@@ -62,6 +73,11 @@ class ClusterState {
 
   /// Can `job` run right now? (first-fit feasibility test).
   bool fits(const Job& job) const;
+
+  /// Raw-demand form of fits(), identical comparison semantics. Lets index
+  /// pruning test a subtree's per-field minima against availability without
+  /// materializing a Job.
+  bool fits(int nodes, double memory_gb) const;
 
   /// Would `job` ever fit on an empty cluster? Jobs violating this are
   /// unschedulable and rejected at submission.
@@ -93,6 +109,23 @@ class ClusterState {
   /// (test fixtures, offline snapshots).
   std::vector<sim::Allocation> running_by_end_time() const;
 
+  /// Earliest time a (nodes, memory_gb) request can be satisfied, assuming
+  /// running jobs release their resources at their recorded end times and
+  /// nothing else starts - i.e. the smallest prefix of the end-time index
+  /// whose cumulative release, on top of what is free now, covers the
+  /// request. O(log n_running): two std::partition_point searches over the
+  /// incrementally maintained prefix aggregates (both cumulative release
+  /// curves are non-decreasing, so each threshold crossing is a
+  /// partition point). Replaces the seed policy's per-query walk that
+  /// re-accumulated every running allocation.
+  ///
+  /// When the request fits immediately, `time` is `now` and the spares are
+  /// against current availability. When it cannot fit even after everything
+  /// drains (request beyond total capacity - hand-built states only, the
+  /// engine rejects such jobs at submission), `time` is the last end time
+  /// and the spares go negative, matching the exhausted walk of the seed.
+  FitProjection earliest_fit(int nodes, double memory_gb, double now) const;
+
   /// Internal-consistency check (sums match capacities); used by tests and
   /// debug assertions.
   bool invariants_hold() const;
@@ -101,6 +134,13 @@ class ClusterState {
   /// Position of `slot` in by_end_ (exact key search; throws if absent).
   std::size_t end_index_position(std::uint32_t slot) const;
 
+  /// Recompute the prefix aggregates from position `from` to the end, after
+  /// an insert or erase at `from`. Left-to-right accumulation keeps the
+  /// sums deterministic; cost is O(n_running - from), and n_running is
+  /// bounded by cluster capacity (every job holds >= 1 node), so the
+  /// maintenance cost is independent of experiment size.
+  void rebuild_release_prefix(std::size_t from);
+
   ClusterSpec spec_;
   int available_nodes_;
   double available_memory_gb_;
@@ -108,6 +148,11 @@ class ClusterState {
   std::vector<std::uint32_t> free_slots_;
   std::vector<std::uint32_t> by_end_;      ///< slots ordered by (end_time, id)
   std::unordered_map<JobId, std::uint32_t> slot_of_;
+  /// Prefix aggregates parallel to by_end_: cum_release_*_[i] is the total
+  /// nodes/memory released by allocations by_end_[0..i]. Maintained on every
+  /// allocate/release; earliest_fit() binary-searches them.
+  std::vector<int> cum_release_nodes_;
+  std::vector<double> cum_release_memory_;
 };
 
 }  // namespace reasched::sim

@@ -34,6 +34,17 @@ inline bool same_event_time(double t, double now) {
   return t <= now + tol;
 }
 
+/// Tolerance-correct `x <= y` for scheduler-side comparisons of simulation
+/// quantities (shadow times, spare memory). The tolerance is relative
+/// (|y| * 1e-12, ~4096 ulps at any magnitude) floored at an absolute 1e-9:
+/// an absolute epsilon alone is below one ulp once values reach ~1e7 - at
+/// Polaris time scales a `<= y + 1e-9` eligibility test flips on the
+/// floating-point noise of whichever path computed y - while the 1e-9 floor
+/// preserves the seed's behaviour near zero.
+inline bool tol_leq(double x, double y) {
+  return x <= y + std::max(1e-9, std::abs(y) * 1e-12);
+}
+
 /// Strict-weak ordering: earliest time first; completions before arrivals;
 /// then insertion order.
 inline bool event_after(const Event& a, const Event& b) {

@@ -19,6 +19,11 @@ bool arrival_order(const Job& a, const Job& b) {
   return a.id < b.id;
 }
 
+bool sjf_order(const Job& a, const Job& b) {
+  if (a.walltime != b.walltime) return a.walltime < b.walltime;
+  return arrival_order(a, b);
+}
+
 const char* to_string(JobState s) {
   switch (s) {
     case JobState::kPending: return "pending";

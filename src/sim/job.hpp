@@ -47,6 +47,12 @@ struct Job {
 /// Order jobs by (submit_time, id) - the canonical queue/arrival order.
 bool arrival_order(const Job& a, const Job& b);
 
+/// Order jobs by (walltime, submit_time, id) - SJF's total order. The
+/// arrival-order tie-break makes the minimum unique, so the front of an
+/// index sorted by this comparator is exactly what a min_element scan with
+/// it returns.
+bool sjf_order(const Job& a, const Job& b);
+
 const char* to_string(JobState s);
 
 }  // namespace reasched::sim

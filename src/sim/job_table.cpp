@@ -1,6 +1,8 @@
 #include "sim/job_table.hpp"
 
 #include <algorithm>
+#include <bit>
+#include <numeric>
 #include <stdexcept>
 
 #include "util/string_utils.hpp"
@@ -26,6 +28,24 @@ void JobTable::build(const std::vector<Job>& jobs) {
     }
   }
   waiting_.reserve(jobs_.size());
+
+  // Policy-facing indexes. The arrival-rank permutation is static: ranks are
+  // positions in the (submit_time, id) total order over the whole arena, so
+  // the segment tree over ranks never needs positional inserts - waiting-set
+  // transitions are point updates on a fixed layout.
+  waiting_by_walltime_.clear();
+  waiting_by_walltime_.reserve(jobs_.size());
+  rank_to_index_.resize(jobs_.size());
+  std::iota(rank_to_index_.begin(), rank_to_index_.end(), 0u);
+  std::sort(rank_to_index_.begin(), rank_to_index_.end(),
+            [&](std::uint32_t a, std::uint32_t b) { return arrival_order(jobs_[a], jobs_[b]); });
+  rank_of_.resize(jobs_.size());
+  for (std::uint32_t r = 0; r < rank_to_index_.size(); ++r) {
+    rank_of_[rank_to_index_[r]] = r;
+  }
+  tree_leaves_ = std::bit_ceil(std::max<std::uint32_t>(
+      1u, static_cast<std::uint32_t>(jobs_.size())));
+  tree_.assign(2 * static_cast<std::size_t>(tree_leaves_), WaitingAggregate{});
 }
 
 std::uint32_t JobTable::index_of(JobId id) const {
@@ -36,12 +56,29 @@ std::uint32_t JobTable::index_of(JobId id) const {
   return it->second;
 }
 
+void JobTable::tree_update(std::uint32_t rank, const WaitingAggregate& agg) {
+  std::size_t node = static_cast<std::size_t>(tree_leaves_) + rank;
+  tree_[node] = agg;
+  for (node /= 2; node >= 1; node /= 2) {
+    const WaitingAggregate& l = tree_[2 * node];
+    const WaitingAggregate& r = tree_[2 * node + 1];
+    tree_[node] = {std::min(l.min_nodes, r.min_nodes),
+                   std::min(l.min_memory_gb, r.min_memory_gb),
+                   std::min(l.min_walltime, r.min_walltime)};
+  }
+}
+
 void JobTable::insert_waiting(std::uint32_t idx) {
   const Job& j = jobs_[idx];
   const auto pos = std::lower_bound(
       waiting_.begin(), waiting_.end(), idx,
       [&](std::uint32_t a, std::uint32_t) { return arrival_order(jobs_[a], j); });
   waiting_.insert(pos, idx);
+  const auto wpos = std::lower_bound(
+      waiting_by_walltime_.begin(), waiting_by_walltime_.end(), idx,
+      [&](std::uint32_t a, std::uint32_t) { return sjf_order(jobs_[a], j); });
+  waiting_by_walltime_.insert(wpos, idx);
+  tree_update(rank_of_[idx], {j.nodes, j.memory_gb, j.walltime});
   meta_[idx].state = JobState::kWaiting;
 }
 
@@ -54,6 +91,14 @@ void JobTable::erase_waiting(std::uint32_t idx) {
     throw std::logic_error("JobTable: waiting index out of sync");
   }
   waiting_.erase(pos);
+  const auto wpos = std::lower_bound(
+      waiting_by_walltime_.begin(), waiting_by_walltime_.end(), idx,
+      [&](std::uint32_t a, std::uint32_t) { return sjf_order(jobs_[a], j); });
+  if (wpos == waiting_by_walltime_.end() || *wpos != idx) {
+    throw std::logic_error("JobTable: walltime index out of sync");
+  }
+  waiting_by_walltime_.erase(wpos);
+  tree_update(rank_of_[idx], WaitingAggregate{});
 }
 
 void JobTable::promote(std::uint32_t idx) {

@@ -1,6 +1,6 @@
 #include "sim/scheduler.hpp"
 
-#include "sim/job_table.hpp"
+#include <algorithm>
 
 namespace reasched::sim {
 
@@ -18,6 +18,12 @@ const Job* DecisionContext::find_ineligible(JobId id) const {
     if (j.id == id) return &j;
   }
   return nullptr;
+}
+
+const Job* DecisionContext::shortest_waiting() const {
+  if (jobs_index != nullptr) return jobs_index->shortest_waiting();
+  if (waiting.empty()) return nullptr;
+  return &*std::min_element(waiting.begin(), waiting.end(), sjf_order);
 }
 
 void Scheduler::on_feedback(const std::string& feedback, const DecisionContext& ctx) {

@@ -6,12 +6,11 @@
 #include "sim/action.hpp"
 #include "sim/cluster.hpp"
 #include "sim/job.hpp"
+#include "sim/job_table.hpp"
 #include "sim/schedule_result.hpp"
 #include "sim/views.hpp"
 
 namespace reasched::sim {
-
-class JobTable;
 
 using JobListView = ListView<Job>;
 using CompletedListView = ListView<CompletedJob>;
@@ -50,6 +49,33 @@ struct DecisionContext {
   const Job* find_waiting(JobId id) const;
   /// The arrived-but-dependency-blocked job with this id, or nullptr.
   const Job* find_ineligible(JobId id) const;
+
+  /// The waiting job that is first in sjf_order (walltime, then arrival
+  /// order), or nullptr when nothing waits. O(1) through the engine's
+  /// walltime-ordered waiting index; ad-hoc contexts fall back to a linear
+  /// min_element scan with identical semantics (sjf_order is total, so the
+  /// minimum is unique).
+  const Job* shortest_waiting() const;
+
+  /// The first waiting job after the queue head (in arrival order)
+  /// satisfying `leaf(job)` - the backfill-candidate search. Engine-built
+  /// contexts answer through the JobTable's arrival-rank segment tree,
+  /// pruning subtrees for which `prune(aggregate)` is false; `prune` must be
+  /// necessary (never false for a subtree containing a satisfying job - the
+  /// aggregate carries per-field minima, so independent `min_* <= cap`
+  /// tests are safe). Ad-hoc contexts fall back to the linear scan `leaf`
+  /// alone defines. Either path returns exactly what a left-to-right scan
+  /// over `waiting[1..]` applying `leaf` would, or nullptr.
+  template <typename LeafPred, typename PrunePred>
+  const Job* first_waiting_after_head(LeafPred&& leaf, PrunePred&& prune) const {
+    if (jobs_index != nullptr) {
+      return jobs_index->first_waiting_after_head(leaf, prune);
+    }
+    for (std::size_t i = 1; i < waiting.size(); ++i) {
+      if (leaf(waiting[i])) return &waiting[i];
+    }
+    return nullptr;
+  }
 };
 
 /// Common interface implemented by every method the paper compares:

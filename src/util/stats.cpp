@@ -31,15 +31,19 @@ double max_of(const std::vector<double>& xs) {
 
 double sum(const std::vector<double>& xs) { return std::accumulate(xs.begin(), xs.end(), 0.0); }
 
-double quantile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0.0;
+double quantile_sorted(const std::vector<double>& sorted_xs, double q) {
+  if (sorted_xs.empty()) return 0.0;
   q = std::clamp(q, 0.0, 1.0);
-  std::sort(xs.begin(), xs.end());
-  const double pos = q * static_cast<double>(xs.size() - 1);
+  const double pos = q * static_cast<double>(sorted_xs.size() - 1);
   const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const std::size_t hi = std::min(lo + 1, sorted_xs.size() - 1);
   const double frac = pos - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac;
+}
+
+double quantile(std::vector<double> xs, double q) {
+  std::sort(xs.begin(), xs.end());
+  return quantile_sorted(xs, q);
 }
 
 double median(std::vector<double> xs) { return quantile(std::move(xs), 0.5); }
@@ -52,9 +56,9 @@ BoxStats box_stats(std::vector<double> xs) {
   b.min = xs.front();
   b.max = xs.back();
   b.mean = mean(xs);
-  b.q1 = quantile(xs, 0.25);
-  b.median = quantile(xs, 0.5);
-  b.q3 = quantile(xs, 0.75);
+  b.q1 = quantile_sorted(xs, 0.25);
+  b.median = quantile_sorted(xs, 0.5);
+  b.q3 = quantile_sorted(xs, 0.75);
   const double iqr = b.q3 - b.q1;
   const double lo_fence = b.q1 - 1.5 * iqr;
   const double hi_fence = b.q3 + 1.5 * iqr;

@@ -18,6 +18,12 @@ double sum(const std::vector<double>& xs);
 double quantile(std::vector<double> xs, double q);
 double median(std::vector<double> xs);
 
+/// quantile() over input that is already sorted ascending - O(1), no copy.
+/// Callers that need several quantiles of one sample (box_stats, report
+/// percentile tables) sort once and use this instead of paying a copy and
+/// re-sort per quantile.
+double quantile_sorted(const std::vector<double>& sorted_xs, double q);
+
 /// Five-number summary + mean, the exact statistics a box plot encodes.
 /// Whiskers use the Tukey 1.5*IQR convention; values beyond them are
 /// reported as outliers (paper Fig. 7 reads these off directly).

@@ -91,7 +91,10 @@ std::vector<sim::Job> preprocess_polaris_trace(const util::CsvTable& raw, std::s
     if (r.end <= r.start || r.nodes < 1) continue;  // malformed rows dropped
     rows.push_back(std::move(r));
   }
-  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+  // Keyed on submit alone, so ties (same-second submissions) must keep raw
+  // row order for the assigned JobIds to be deterministic - same fix as
+  // parse_swf.
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     return a.submit < b.submit;
   });
   if (rows.size() > max_jobs) rows.resize(max_jobs);  // contiguous completed segment

@@ -53,8 +53,12 @@ std::vector<sim::Job> parse_swf(std::string_view text, const SwfOptions& options
     if (rec.run <= 0) continue;  // zero-length or cancelled
     records.push_back(rec);
   }
-  std::sort(records.begin(), records.end(),
-            [](const SwfRecord& a, const SwfRecord& b) { return a.submit < b.submit; });
+  // Same-second submissions are ubiquitous in real traces and `submit` is the
+  // only key, so a non-stable sort would give them implementation-defined
+  // order - and therefore implementation-defined JobIds. stable_sort keeps
+  // ties in file order, which the archive documents as submission order.
+  std::stable_sort(records.begin(), records.end(),
+                   [](const SwfRecord& a, const SwfRecord& b) { return a.submit < b.submit; });
   if (options.max_jobs != 0 && records.size() > options.max_jobs) {
     records.resize(options.max_jobs);
   }

@@ -175,3 +175,49 @@ TEST(Schedulers, NamesAreStable) {
   EXPECT_EQ(rc::EasyBackfillScheduler().name(), "EASY-Backfill");
   EXPECT_EQ(rc::RandomScheduler(1).name(), "Random");
 }
+
+TEST(EasyBackfill, LateTimeToleranceAdmitsBackfill) {
+  // Regression for the absolute 1e-9 epsilons the shadow-time comparison
+  // used to carry: at t0 ~ 1e7 s one ulp is already ~2e-9, so a candidate
+  // whose finish lands within floating-point noise of the shadow (here
+  // 1e-7 s over, far below any physically meaningful margin at that scale)
+  // was rejected. The relative tol_leq tolerance (~1e-5 at 1e7 s) admits it.
+  const double t0 = 1.0e7;
+  std::vector<rs::Job> jobs;
+  // Blocker: holds 200 of 256 nodes until t0 + 1000.
+  jobs.push_back(make_job(1, 200, 10, 1000.0, t0));
+  // Head: 250 nodes - must wait for the blocker; shadow time is t0 + 1000
+  // and only 6 nodes are spare once it starts.
+  jobs.push_back(make_job(2, 250, 10, 100.0, t0 + 10.0));
+  // Candidate: fits now (56 free), exceeds the 6 spare nodes, and finishes
+  // 1e-7 s past the shadow - eligible only through the relative tolerance.
+  jobs.push_back(make_job(3, 40, 10, 990.0 + 1e-7, t0 + 10.0));
+
+  rc::EasyBackfillScheduler easy;
+  rs::Engine engine;
+  const auto result = engine.run(jobs, easy);
+
+  EXPECT_EQ(result.n_backfills, 1u);
+  EXPECT_DOUBLE_EQ(result.find(3).start_time, t0 + 10.0);  // backfilled immediately
+  // The tolerance-admitted backfill really did not delay the head: its
+  // completion batches with the blocker's (same relative event window) and
+  // the head starts at its shadow time.
+  EXPECT_DOUBLE_EQ(result.find(2).start_time, t0 + 1000.0);
+}
+
+TEST(EasyBackfill, SmallScaleToleranceStillRejectsRealDelays) {
+  // At small time scales the tolerance floor stays at the seed's 1e-9, so a
+  // candidate overshooting the shadow by a physically meaningful margin is
+  // still refused (no spare capacity for it either).
+  std::vector<rs::Job> jobs;
+  jobs.push_back(make_job(1, 200, 10, 1000.0, 0.0));
+  jobs.push_back(make_job(2, 250, 10, 100.0, 10.0));
+  jobs.push_back(make_job(3, 40, 10, 990.1, 10.0));  // 0.1 s past the shadow
+
+  rc::EasyBackfillScheduler easy;
+  rs::Engine engine;
+  const auto result = engine.run(jobs, easy);
+
+  EXPECT_EQ(result.n_backfills, 0u);
+  EXPECT_GE(result.find(3).start_time, 1000.0);  // waited for the head
+}

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "util/rng.hpp"
 
 namespace ru = reasched::util;
@@ -44,6 +46,36 @@ TEST(Stats, QuantileClampsQ) {
   const std::vector<double> xs = {1.0, 2.0};
   EXPECT_DOUBLE_EQ(ru::quantile(xs, -1.0), 1.0);
   EXPECT_DOUBLE_EQ(ru::quantile(xs, 2.0), 2.0);
+}
+
+TEST(Stats, QuantileSortedMatchesQuantile) {
+  ru::Rng rng(17);
+  std::vector<double> xs;
+  for (int i = 0; i < 257; ++i) xs.push_back(rng.uniform_real(-50.0, 200.0));
+  std::vector<double> sorted = xs;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double q : {0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1.0}) {
+    EXPECT_DOUBLE_EQ(ru::quantile_sorted(sorted, q), ru::quantile(xs, q)) << "q=" << q;
+  }
+}
+
+TEST(Stats, QuantileSortedEdgeCases) {
+  EXPECT_DOUBLE_EQ(ru::quantile_sorted({}, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ru::quantile_sorted({4.0}, 0.25), 4.0);
+  EXPECT_DOUBLE_EQ(ru::quantile_sorted({1.0, 2.0}, -1.0), 1.0);  // q clamped
+  EXPECT_DOUBLE_EQ(ru::quantile_sorted({1.0, 2.0}, 2.0), 2.0);
+}
+
+TEST(Stats, BoxStatsQuartilesMatchQuantiles) {
+  // box_stats now computes its quartiles through the sorted-input path; they
+  // must agree with the standalone (copy-and-sort) quantile.
+  ru::Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 101; ++i) xs.push_back(rng.lognormal(1.0, 0.8));
+  const auto b = ru::box_stats(xs);
+  EXPECT_DOUBLE_EQ(b.q1, ru::quantile(xs, 0.25));
+  EXPECT_DOUBLE_EQ(b.median, ru::quantile(xs, 0.5));
+  EXPECT_DOUBLE_EQ(b.q3, ru::quantile(xs, 0.75));
 }
 
 TEST(Stats, QuantileUnsortedInput) {

@@ -96,3 +96,30 @@ TEST(PolarisJobs, ConvenienceProducesExactCount) {
   const auto jobs = rw::polaris_jobs(100, 11);
   EXPECT_EQ(jobs.size(), 100u);
 }
+
+TEST(PolarisPreprocess, SameSubmitTimeKeepsRowOrder) {
+  // Preprocessing sorts on SUBMIT_TIMESTAMP alone; same-second rows must
+  // keep raw order so the assigned JobIds are deterministic (same fix as
+  // SWF ingest). The tied rows are distinguishable by node count.
+  reasched::util::CsvTable raw({"JOB_NAME", "USER", "GROUP", "SUBMIT_TIMESTAMP",
+                                "START_TIMESTAMP", "END_TIMESTAMP", "NODES_REQUESTED",
+                                "WALLTIME_SECONDS", "QUEUED_WAIT_SECONDS", "EXIT_STATUS"});
+  auto add = [&](const char* name, const char* submit, int nodes) {
+    raw.add_row({name, "u1", "g1", submit, "2000", "2600", std::to_string(nodes), "900", "0",
+                 "0"});
+  };
+  add("job_a", "1000", 2);
+  add("job_b", "1000", 4);
+  add("job_c", "1000", 8);
+  add("job_d", "900", 16);  // earlier; must lead after sorting
+
+  const auto jobs = rw::preprocess_polaris_trace(raw, 10);
+  ASSERT_EQ(jobs.size(), 4u);
+  EXPECT_EQ(jobs[0].nodes, 16);
+  EXPECT_EQ(jobs[1].nodes, 2);
+  EXPECT_EQ(jobs[2].nodes, 4);
+  EXPECT_EQ(jobs[3].nodes, 8);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<rs::JobId>(i + 1));
+  }
+}

@@ -64,6 +64,29 @@ TEST(Swf, MaxJobsAndNodeClamp) {
   EXPECT_EQ(jobs[0].nodes, 8);  // clamped from 16
 }
 
+TEST(Swf, SameSubmitTimeKeepsFileOrder) {
+  // Same-second submissions are everywhere in real traces; ingest sorts on
+  // `submit` alone, so ties must keep file order (stable sort) or JobIds
+  // become implementation-defined. Distinguish the tied records by their
+  // node counts.
+  const char* tied =
+      "1 500 5 300 2 -1 -1 2 600 1024 1 1 1 -1 -1 -1 -1 -1\n"
+      "2 500 5 300 4 -1 -1 4 600 1024 1 2 1 -1 -1 -1 -1 -1\n"
+      "3 500 5 300 8 -1 -1 8 600 1024 1 3 1 -1 -1 -1 -1 -1\n"
+      "4 400 5 300 16 -1 -1 16 600 1024 1 4 1 -1 -1 -1 -1 -1\n";
+  const auto jobs = rw::parse_swf(tied);
+  ASSERT_EQ(jobs.size(), 4u);
+  // Earliest submission first; the tied group follows in file order.
+  EXPECT_EQ(jobs[0].nodes, 16);
+  EXPECT_EQ(jobs[1].nodes, 2);
+  EXPECT_EQ(jobs[2].nodes, 4);
+  EXPECT_EQ(jobs[3].nodes, 8);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<rs::JobId>(i + 1));  // ids follow that order
+    EXPECT_DOUBLE_EQ(jobs[i].submit_time, i == 0 ? 0.0 : 100.0);
+  }
+}
+
 TEST(Swf, MalformedLineThrows) {
   EXPECT_THROW(rw::parse_swf("1 2 3\n"), std::runtime_error);
 }
