@@ -6,9 +6,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "util/csv.hpp"
+#include "util/json_writer.hpp"
 #include "util/stats.hpp"
 #include "util/string_utils.hpp"
 #include "util/table.hpp"
@@ -36,6 +38,29 @@ inline std::vector<std::string> latency_stat_cells(const std::vector<double>& xs
           util::TextTable::num(util::quantile(xs, 0.95), 1),
           util::TextTable::num(box.max, 1), std::to_string(box.outliers.size())};
 }
+
+/// Flat {"metric/name": value} JSON collector for the CI bench-regression
+/// gate: the scaling benches record their decisions/sec figures here and
+/// tools/compare_bench.py diffs the file against the checked-in
+/// BENCH_baseline.json (>25% drop on a gated metric fails the job).
+class BenchJson {
+ public:
+  void add(const std::string& name, double value) { entries_.emplace_back(name, value); }
+
+  /// Write to `path` when non-empty (the --json flag's argument).
+  void save_if(const std::string& path) const {
+    if (path.empty()) return;
+    util::JsonWriter w;
+    w.begin_object();
+    for (const auto& [k, v] : entries_) w.kv(k, v);
+    w.end_object();
+    w.save(path);
+    std::printf("\nwrote %zu metric(s) to %s\n", entries_.size(), path.c_str());
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 inline void print_header(const char* figure, const char* description) {
   std::printf("=====================================================================\n");

@@ -6,6 +6,10 @@
 //
 //   ./bench/micro_engine_scaling [--jobs 1000,10000] [--seed 12345]
 //                                [--scheduler fcfs|sjf|easy] [--reps 1]
+//                                [--json out.json]
+//
+// --json writes the indexed-engine decisions/sec per size as a flat JSON
+// object for the CI bench-regression gate (tools/compare_bench.py).
 //
 // Prints per-size wall times for both engines, the speedup, and a
 // decisions-equal cross-check (the golden test proves full equality; the
@@ -17,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "sched/easy_backfill.hpp"
 #include "sched/fcfs.hpp"
 #include "sched/sjf.hpp"
@@ -58,6 +63,8 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 12345));
   const auto reps = static_cast<std::size_t>(args.get_int("reps", 1));
   const std::string scheduler_name = args.get("scheduler", "fcfs");
+  const std::string json_path = args.get("json", "");
+  bench::BenchJson json;
 
   std::vector<std::size_t> sizes;
   for (const auto& tok : util::split(sizes_arg, ',')) {
@@ -91,7 +98,10 @@ int main(int argc, char** argv) {
     all_match = all_match && match;
     std::printf("  %10zu  %14.4f  %14.4f  %8.1fx  %s\n", n, indexed_s, seed_s,
                 seed_s / indexed_s, match ? "equal" : "MISMATCH");
+    json.add(util::format("engine/%s/jobs%zu/dec_per_s", scheduler_name.c_str(), n),
+             static_cast<double>(indexed_result.n_decisions) / indexed_s);
   }
+  json.save_if(json_path);
 
   if (!all_match) {
     std::printf("\nFAIL: engines diverged - run the golden determinism test.\n");

@@ -47,7 +47,8 @@ int main(int argc, char** argv) {
        {llm::claude37_profile(), llm::o4mini_profile(), custom}) {
     auto agent = core::make_agent(profile, seed);
     const auto result = engine.run(jobs, *agent);
-    rows.push_back({profile.display_name, metrics::compute_metrics(result, engine.config().cluster)});
+    rows.push_back(
+        {profile.display_name, metrics::compute_metrics(result, engine.config().cluster)});
   }
 
   std::printf("Long-Job Dominant, %zu jobs - objective-temperament comparison\n", jobs.size());

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 
+#include "sim/planning_window.hpp"
+
 namespace reasched::core {
 
 /// Configuration of the ReAct scheduling agent (paper Section 2). Defaults
@@ -17,6 +19,12 @@ struct AgentConfig {
   int scratchpad_token_budget = 8000;
   /// Include the multiobjective instruction block in the prompt.
   bool objectives_in_prompt = true;
+  /// Planning window bounding how many waiting jobs the prompt lists and
+  /// the policy scores per decision (top_k = 0 reproduces the paper's
+  /// all-jobs prompt exactly). At trace scale an unbounded prompt grows
+  /// with queue depth; the window keeps prompt tokens, reasoning tokens and
+  /// per-decision scoring cost flat.
+  sim::PlanningWindow window;
   /// Seed for the agent's client (decision noise + latency sampling).
   std::uint64_t seed = 1;
 };

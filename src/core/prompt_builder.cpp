@@ -8,7 +8,8 @@
 namespace reasched::core {
 
 std::string PromptBuilder::build(const sim::DecisionContext& ctx,
-                                 const std::string& scratchpad_text) const {
+                                 const std::string& scratchpad_text,
+                                 const std::vector<std::uint32_t>* window) const {
   const auto& spec = ctx.cluster.spec();
   std::ostringstream os;
 
@@ -51,18 +52,37 @@ std::string PromptBuilder::build(const sim::DecisionContext& ctx,
   if (ctx.waiting.empty()) {
     os << "None\n";
   } else {
-    for (const auto& j : ctx.waiting) {
+    const std::size_t n_visible = sim::windowed_size(ctx.waiting, window);
+    for (std::size_t k = 0; k < n_visible; ++k) {
+      const auto& j = sim::windowed_job(ctx.waiting, window, k);
       os << util::format(
           "  Job %d: %d Nodes, %.0f GB, walltime=%.0f, user_%d, submitted t=%.0f (waited "
           "%.0fs)\n",
           j.id, j.nodes, j.memory_gb, j.walltime, j.user, j.submit_time,
           ctx.now - j.submit_time);
     }
+    if (n_visible < ctx.waiting.size()) {
+      os << util::format("  (+%zu more waiting job(s) beyond the planning window)\n",
+                         ctx.waiting.size() - n_visible);
+    }
   }
   if (!ctx.ineligible.empty()) {
     os << "\nSubmitted but not yet eligible (waiting on dependencies):\n";
-    for (const auto& j : ctx.ineligible) {
+    // A configured window caps this listing too (at top_k, regardless of
+    // whether the waiting queue itself needed cutting): on DAG-heavy
+    // workloads the blocked cohort can dwarf the waiting queue, and the
+    // flat-prompt contract covers every O(queue) section. The unbounded
+    // default keeps the paper's full listing.
+    const std::size_t n_blocked = config_.window.top_k != 0
+                                      ? std::min(ctx.ineligible.size(), config_.window.top_k)
+                                      : ctx.ineligible.size();
+    for (std::size_t k = 0; k < n_blocked; ++k) {
+      const auto& j = ctx.ineligible[k];
       os << util::format("  Job %d (depends on %zu job(s))\n", j.id, j.dependencies.size());
+    }
+    if (n_blocked < ctx.ineligible.size()) {
+      os << util::format("  (+%zu more blocked job(s) beyond the planning window)\n",
+                         ctx.ineligible.size() - n_blocked);
     }
   }
 

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/agent_config.hpp"
 #include "sim/scheduler.hpp"
@@ -12,11 +14,19 @@ namespace reasched::core {
 /// waiting job listings, the scratchpad decision history, the multiobjective
 /// instruction block and the action menu. The prompt is the authoritative
 /// observation channel - a real LLM backend sees nothing else.
+///
+/// When the agent's planning window is bounded, the waiting listing shows
+/// only the windowed jobs (plus a one-line note counting the rest), so
+/// prompt size - and with it token cost and simulated latency - stays flat
+/// as the queue deepens at trace scale.
 class PromptBuilder {
  public:
   explicit PromptBuilder(AgentConfig config) : config_(config) {}
 
-  std::string build(const sim::DecisionContext& ctx, const std::string& scratchpad_text) const;
+  /// `window` holds ascending positions into ctx.waiting (the agent's
+  /// planning window), or null for the unbounded all-jobs prompt.
+  std::string build(const sim::DecisionContext& ctx, const std::string& scratchpad_text,
+                    const std::vector<std::uint32_t>* window = nullptr) const;
 
  private:
   AgentConfig config_;

@@ -17,23 +17,29 @@ void ReActAgent::reset() {
   transcript_.clear();
   last_thought_.clear();
   last_prompt_.clear();
+  window_scratch_.clear();
   parse_failures_ = 0;
   client_->reset();
 }
 
 sim::Action ReActAgent::decide(const sim::DecisionContext& ctx) {
   // 1. Render prompt. With the scratchpad disabled (ablation) the history
-  //    section is blank every step.
+  //    section is blank every step. The planning window (when bounded)
+  //    selects which waiting jobs the prompt lists - and therefore which
+  //    candidates the model can act on.
+  const bool bounded = config_.window.select(ctx.waiting, window_scratch_);
+  const std::vector<std::uint32_t>* window = bounded ? &window_scratch_ : nullptr;
   const std::string scratchpad_text =
       config_.scratchpad_enabled ? scratchpad_.render(config_.scratchpad_token_budget)
                                  : std::string("(nothing yet)\n");
-  last_prompt_ = prompt_builder_.build(ctx, scratchpad_text);
+  last_prompt_ = prompt_builder_.build(ctx, scratchpad_text, window);
 
   // 2. Query the model. The structured side channel carries the same state
   //    the prompt describes (see llm::PromptContext).
   llm::PromptContext pctx;
   pctx.decision = &ctx;
   pctx.scratchpad_entries = scratchpad_.size();
+  pctx.window = window;
   if (config_.scratchpad_enabled) pctx.recently_rejected = scratchpad_.rejected_at(ctx.now);
 
   llm::Request request;

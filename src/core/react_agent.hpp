@@ -53,6 +53,8 @@ class ReActAgent final : public sim::Scheduler {
   llm::Transcript transcript_;
   std::string last_thought_;
   std::string last_prompt_;
+  /// Reused planning-window position scratch (no per-decision allocation).
+  std::vector<std::uint32_t> window_scratch_;
   std::size_t parse_failures_ = 0;
 };
 

@@ -22,11 +22,19 @@ void Scratchpad::record_decision(double time, const std::string& thought,
   e.thought_summary = first_line(thought);
   e.action = action;
   entries_.push_back(std::move(e));
+  ++n_accepted_;  // entries default to accepted until a verdict arrives
 }
 
 void Scratchpad::record_verdict(bool accepted, const std::string& feedback) {
   if (entries_.empty()) return;
-  entries_.back().accepted = accepted;
+  if (entries_.back().accepted != accepted) {
+    if (accepted) {
+      ++n_accepted_;
+    } else {
+      --n_accepted_;
+    }
+    entries_.back().accepted = accepted;
+  }
   if (!accepted) entries_.back().feedback = feedback;
 }
 
@@ -40,7 +48,10 @@ void Scratchpad::record_note(double time, const std::string& note) {
   entries_.push_back(std::move(e));
 }
 
-void Scratchpad::clear() { entries_.clear(); }
+void Scratchpad::clear() {
+  entries_.clear();
+  n_accepted_ = 0;
+}
 
 std::vector<sim::JobId> Scratchpad::rejected_at(double now) const {
   std::vector<sim::JobId> out;
@@ -50,14 +61,6 @@ std::vector<sim::JobId> Scratchpad::rejected_at(double now) const {
   }
   return out;
 }
-
-std::size_t Scratchpad::accepted_count() const {
-  std::size_t n = 0;
-  for (const auto& e : entries_) n += e.accepted ? 1 : 0;
-  return n;
-}
-
-std::size_t Scratchpad::rejected_count() const { return entries_.size() - accepted_count(); }
 
 std::string Scratchpad::render(int token_budget) const {
   if (entries_.empty()) return "(nothing yet)\n";

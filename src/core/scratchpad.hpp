@@ -44,12 +44,16 @@ class Scratchpad {
   /// collapse into a single summary line. Renders "(nothing yet)" if empty.
   std::string render(int token_budget) const;
 
-  /// Counters used by summaries and the ablation analysis.
-  std::size_t accepted_count() const;
-  std::size_t rejected_count() const;
+  /// Counters used by summaries and the ablation analysis. O(1): the render
+  /// path emits the accepted/rejected summary line on *every* prompt once
+  /// the token budget truncates history, so recounting entries there would
+  /// make each decision O(run length) at trace scale.
+  std::size_t accepted_count() const { return n_accepted_; }
+  std::size_t rejected_count() const { return entries_.size() - n_accepted_; }
 
  private:
   std::vector<Entry> entries_;
+  std::size_t n_accepted_ = 0;  ///< maintained by record_* (see accepted_count)
 };
 
 }  // namespace reasched::core

@@ -35,7 +35,15 @@ std::uint64_t cell_seed(const SweepConfig& config, const Cell& cell) {
       workload::to_string(cell.scenario), cell.repetition + 1);
 }
 
-std::map<Cell, RunOutcome> run_sweep(const SweepConfig& config) {
+namespace {
+
+/// Shared grid driver: enumerate cells, generate each distinct workload
+/// once, run every cell on the pool, and hand each finished outcome to
+/// `consume` under a lock. Both sweep entry points are thin reducers over
+/// this, so cell enumeration, workload sharing and seeding can never drift
+/// between the retaining and the streaming path.
+template <typename Consume>
+void sweep_cells(const SweepConfig& config, Consume&& consume) {
   // Workloads depend only on (scenario, n_jobs, repetition) - every method
   // in a cell sees the identical job list. Derive each list once and share
   // it across the method axis instead of regenerating per method.
@@ -72,7 +80,6 @@ std::map<Cell, RunOutcome> run_sweep(const SweepConfig& config) {
     workloads[i] = cell_jobs(config, key.scenario, key.n_jobs, key.repetition);
   });
 
-  std::map<Cell, RunOutcome> results;
   std::mutex mu;
   pool.parallel_for(cells.size(), [&](std::size_t i) {
     const Cell& cell = cells[i];
@@ -80,9 +87,37 @@ std::map<Cell, RunOutcome> run_sweep(const SweepConfig& config) {
         workloads[workload_index.at(WorkloadKey{cell.scenario, cell.n_jobs, cell.repetition})];
     RunOutcome outcome = run_method(jobs, cell.method, cell_seed(config, cell), config.engine);
     std::lock_guard lock(mu);
+    consume(cell, std::move(outcome));
+  });
+}
+
+}  // namespace
+
+std::map<Cell, RunOutcome> run_sweep(const SweepConfig& config) {
+  std::map<Cell, RunOutcome> results;
+  sweep_cells(config, [&](const Cell& cell, RunOutcome&& outcome) {
     results.emplace(cell, std::move(outcome));
   });
   return results;
+}
+
+StreamedSweep run_sweep_streaming(
+    const SweepConfig& config,
+    const std::function<void(const Cell&, const RunOutcome&)>& on_cell) {
+  StreamedSweep out;
+  sweep_cells(config, [&](const Cell& cell, RunOutcome&& outcome) {
+    if (on_cell) on_cell(cell, outcome);
+    // Keep only the metric reduction; the ScheduleResult (per-job records,
+    // decision traces) is dropped here, bounding sweep memory by in-flight
+    // cells instead of grid size.
+    out.cells.emplace(cell, outcome.metrics);
+  });
+  // Aggregate in deterministic (key) order so float accumulation does not
+  // depend on thread scheduling.
+  for (const auto& [cell, metric_set] : out.cells) {
+    out.groups[GroupKey{cell.scenario, cell.n_jobs, cell.method}].add(metric_set);
+  }
+  return out;
 }
 
 std::map<GroupKey, metrics::MetricAggregate> aggregate_sweep(

@@ -68,4 +68,28 @@ bool operator<(const GroupKey& a, const GroupKey& b);
 std::map<GroupKey, metrics::MetricAggregate> aggregate_sweep(
     const std::map<Cell, RunOutcome>& results);
 
+/// Streaming-accumulation result: per-cell MetricSets (a few doubles each)
+/// plus the per-group aggregates, with no retained ScheduleResult.
+struct StreamedSweep {
+  std::map<Cell, metrics::MetricSet> cells;
+  std::map<GroupKey, metrics::MetricAggregate> groups;
+};
+
+/// Streaming variant for trace-scale grids: identical cell enumeration,
+/// workload sharing, seeding and scheduling as run_sweep, but each cell's
+/// RunOutcome is reduced to its MetricSet the moment the cell finishes and
+/// then dropped, so a 10^5-10^6-job optimizer/agent sweep holds one
+/// ScheduleResult per *in-flight* cell instead of one per grid cell
+/// (a full ScheduleResult retains every completed job record).
+///
+/// `on_cell`, when set, sees each full outcome (schedule + overhead) before
+/// it is dropped - exporters hook here. It is invoked under the result lock,
+/// i.e. serialized, but in nondeterministic cell order; anything
+/// order-sensitive should key off the Cell. Aggregation itself is
+/// deterministic regardless of thread count (cells are reduced in key order
+/// after the grid completes).
+StreamedSweep run_sweep_streaming(
+    const SweepConfig& config,
+    const std::function<void(const Cell&, const RunOutcome&)>& on_cell = {});
+
 }  // namespace reasched::harness

@@ -1,5 +1,7 @@
 #include "llm/decision_policy.hpp"
 
+#include "sim/planning_window.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <set>
@@ -114,15 +116,29 @@ PolicyDecision DecisionPolicy::decide(const sim::DecisionContext& ctx, const Pro
 
   if (!ctx.running.empty()) d.next_release_time = ctx.running.front().end_time;
 
+  // Candidate set: the planning window when bounded, else the whole queue.
+  // The prompt shows exactly these jobs, so normalization statistics and
+  // scoring must see exactly these jobs too (a real backend could not react
+  // to jobs its prompt never listed).
+  const std::vector<std::uint32_t>* window = pctx.window;
+  const std::size_t n_candidates = sim::windowed_size(ctx.waiting, window);
+  auto candidate = [&](std::size_t k) -> const sim::Job& {
+    return sim::windowed_job(ctx.waiting, window, k);
+  };
+
   double max_wait = 0.0, max_walltime = 0.0, total_walltime = 0.0;
-  for (const auto& j : ctx.waiting) {
+  for (std::size_t k = 0; k < n_candidates; ++k) {
+    const sim::Job& j = candidate(k);
     max_wait = std::max(max_wait, ctx.now - j.submit_time);
     max_walltime = std::max(max_walltime, j.walltime);
     total_walltime += j.walltime;
   }
-  const double avg_walltime = total_walltime / static_cast<double>(ctx.waiting.size());
+  const double avg_walltime = total_walltime / static_cast<double>(n_candidates);
 
   // Head = longest-waiting job (arrival order is maintained by the engine).
+  // A bounded window always includes position 0 (PlanningWindow::select),
+  // so the head anchoring the reservation reasoning is always a candidate
+  // the prompt listed.
   const sim::Job& head = ctx.waiting.front();
   double shadow_time = -1.0;
   double head_pressure = 0.0;
@@ -138,7 +154,8 @@ PolicyDecision DecisionPolicy::decide(const sim::DecisionContext& ctx, const Pro
 
   std::vector<CandidateScore> fitting;
   std::vector<CandidateScore> blocked;
-  for (const auto& j : ctx.waiting) {
+  for (std::size_t k = 0; k < n_candidates; ++k) {
+    const sim::Job& j = candidate(k);
     if (rejected.count(j.id) != 0) continue;  // feedback said no; don't retry now
     CandidateScore s =
         score_job(j, ctx, max_wait, max_walltime, shadow_time, head_pressure, rng);

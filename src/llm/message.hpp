@@ -20,6 +20,13 @@ struct PromptContext {
   /// the information the paper's feedback loop injects. Empty when the
   /// feedback channel is disabled (ablation).
   std::vector<sim::JobId> recently_rejected;
+  /// Ascending positions into decision->waiting of the jobs inside the
+  /// agent's planning window (sim::PlanningWindow::select output), or null
+  /// when the window is unbounded. The prompt renders exactly these jobs,
+  /// so the simulated reasoner must score exactly these candidates - the
+  /// structured side channel mirrors what a real backend could read from
+  /// the prompt text.
+  const std::vector<std::uint32_t>* window = nullptr;
 };
 
 /// One completion request in the shape of a real chat-completions call.

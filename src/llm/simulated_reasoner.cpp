@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "llm/token_counter.hpp"
+#include "sim/planning_window.hpp"
 
 namespace reasched::llm {
 
@@ -30,17 +31,22 @@ Response SimulatedReasoner::complete(const Request& request) {
   resp.prompt_tokens = estimate_tokens(request.prompt);
 
   // Hidden chain-of-thought tokens count toward completion usage and grow
-  // with queue complexity (more trade-offs to weigh).
+  // with queue complexity (more trade-offs to weigh). Only the jobs the
+  // prompt actually lists - the planning window when bounded - contribute,
+  // which is what keeps per-decision token cost flat at trace scale.
+  const std::vector<std::uint32_t>* window = request.context->window;
+  const std::size_t n_visible = sim::windowed_size(ctx.waiting, window);
   std::vector<double> durations, widths;
-  durations.reserve(ctx.waiting.size());
-  widths.reserve(ctx.waiting.size());
-  for (const auto& j : ctx.waiting) {
+  durations.reserve(n_visible);
+  widths.reserve(n_visible);
+  for (std::size_t k = 0; k < n_visible; ++k) {
+    const sim::Job& j = sim::windowed_job(ctx.waiting, window, k);
     durations.push_back(j.walltime);
     widths.push_back(static_cast<double>(j.nodes));
   }
   const double heterogeneity = queue_heterogeneity(durations, widths);
   const int reasoning = static_cast<int>(
-      profile_.reasoning_tokens * (1.0 + heterogeneity + 0.01 * static_cast<double>(ctx.waiting.size())));
+      profile_.reasoning_tokens * (1.0 + heterogeneity + 0.01 * static_cast<double>(n_visible)));
   resp.completion_tokens = estimate_tokens(resp.text) + reasoning;
 
   const LatencyModel latency(profile_.latency);

@@ -10,7 +10,7 @@ namespace reasched::opt {
 namespace {
 
 struct Search {
-  const Problem& problem;
+  const ProblemView& problem;
   const ObjectiveWeights& weights;
   const BnbConfig& config;
   BnbResult result;
@@ -26,30 +26,30 @@ struct Search {
     double remaining_node_area = 0.0;
     double remaining_mem_area = 0.0;
     double critical_path = 0.0;
-    for (std::size_t i = 0; i < problem.jobs.size(); ++i) {
+    for (std::size_t i = 0; i < problem.n_jobs(); ++i) {
       if (used[i]) continue;
-      const sim::Job& j = problem.jobs[i];
+      const sim::Job& j = problem.job(i);
       remaining_node_area += static_cast<double>(j.nodes) * j.duration;
       remaining_mem_area += j.memory_gb * j.duration;
       critical_path =
-          std::max(critical_path, std::max(problem.now, j.submit_time) + j.duration);
+          std::max(critical_path, std::max(problem.now(), j.submit_time) + j.duration);
     }
     double lb_makespan = prefix_plan.makespan;
     lb_makespan = std::max(lb_makespan,
-                           problem.now + remaining_node_area /
-                                             static_cast<double>(problem.total_nodes));
-    if (problem.total_memory_gb > 0.0) {
-      lb_makespan =
-          std::max(lb_makespan, problem.now + remaining_mem_area / problem.total_memory_gb);
+                           problem.now() + remaining_node_area /
+                                               static_cast<double>(problem.total_nodes()));
+    if (problem.total_memory_gb() > 0.0) {
+      lb_makespan = std::max(lb_makespan,
+                             problem.now() + remaining_mem_area / problem.total_memory_gb());
     }
     lb_makespan = std::max(lb_makespan, critical_path);
     // Completion-time term: each remaining job completes no earlier than
     // release + duration.
     double lb_completion = prefix_plan.total_completion;
-    for (std::size_t i = 0; i < problem.jobs.size(); ++i) {
+    for (std::size_t i = 0; i < problem.n_jobs(); ++i) {
       if (used[i]) continue;
-      const sim::Job& j = problem.jobs[i];
-      lb_completion += std::max(problem.now, j.submit_time) + j.duration;
+      const sim::Job& j = problem.job(i);
+      lb_completion += std::max(problem.now(), j.submit_time) + j.duration;
     }
     return weights.makespan_weight * lb_makespan + weights.completion_weight * lb_completion;
   }
@@ -61,7 +61,7 @@ struct Search {
     }
     ++result.explored;
 
-    if (prefix.size() == problem.jobs.size()) {
+    if (prefix.size() == problem.n_jobs()) {
       const double score = evaluate(decode_order(problem, prefix), weights);
       if (score < result.score) {
         result.score = score;
@@ -70,17 +70,18 @@ struct Search {
       return;
     }
 
-    const PlannedSchedule prefix_plan = decode_prefix();
+    // Decode only the placed prefix; remaining jobs contribute via bounds.
+    const PlannedSchedule prefix_plan = decode_subset(problem, prefix);
     if (lower_bound(prefix_plan) >= result.score - 1e-12) return;  // prune
 
     // Branch in SPT order so good incumbents are found early.
     std::vector<std::size_t> candidates;
-    for (std::size_t i = 0; i < problem.jobs.size(); ++i) {
+    for (std::size_t i = 0; i < problem.n_jobs(); ++i) {
       if (!used[i]) candidates.push_back(i);
     }
     std::sort(candidates.begin(), candidates.end(), [&](std::size_t a, std::size_t b) {
-      if (problem.jobs[a].walltime != problem.jobs[b].walltime) {
-        return problem.jobs[a].walltime < problem.jobs[b].walltime;
+      if (problem.job(a).walltime != problem.job(b).walltime) {
+        return problem.job(a).walltime < problem.job(b).walltime;
       }
       return a < b;
     });
@@ -90,8 +91,8 @@ struct Search {
       const std::size_t i = candidates[c];
       bool dominated = false;
       for (std::size_t d = 0; d < c; ++d) {
-        const sim::Job& a = problem.jobs[i];
-        const sim::Job& b = problem.jobs[candidates[d]];
+        const sim::Job& a = problem.job(i);
+        const sim::Job& b = problem.job(candidates[d]);
         if (a.duration == b.duration && a.nodes == b.nodes && a.memory_gb == b.memory_gb &&
             a.submit_time == b.submit_time) {
           dominated = true;
@@ -107,26 +108,14 @@ struct Search {
       if (budget_exhausted) return;
     }
   }
-
-  PlannedSchedule decode_prefix() const {
-    // Decode only the placed prefix; remaining jobs contribute via bounds.
-    Problem sub = problem;
-    sub.jobs.clear();
-    std::vector<std::size_t> sub_order;
-    for (std::size_t k = 0; k < prefix.size(); ++k) {
-      sub.jobs.push_back(problem.jobs[prefix[k]]);
-      sub_order.push_back(k);
-    }
-    return decode_order(sub, sub_order);
-  }
 };
 
 }  // namespace
 
-BnbResult branch_and_bound(const Problem& problem, const ObjectiveWeights& weights,
+BnbResult branch_and_bound(const ProblemView& problem, const ObjectiveWeights& weights,
                            const BnbConfig& config) {
   Search search{problem, weights, config, {}, {}, {}, false};
-  search.used.assign(problem.jobs.size(), false);
+  search.used.assign(problem.n_jobs(), false);
 
   // Incumbent: best of the standard seed orderings.
   BnbResult& result = search.result;

@@ -27,7 +27,12 @@ struct BnbResult {
 /// exhaustive enumeration on small instances. Practical up to ~10-12 jobs,
 /// which covers the paper's smallest queue sizes; the optimizing scheduler
 /// falls back to SA beyond that.
-BnbResult branch_and_bound(const Problem& problem, const ObjectiveWeights& weights,
+BnbResult branch_and_bound(const ProblemView& problem, const ObjectiveWeights& weights,
                            const BnbConfig& config = {});
+
+inline BnbResult branch_and_bound(const Problem& problem, const ObjectiveWeights& weights,
+                                  const BnbConfig& config = {}) {
+  return branch_and_bound(ProblemView(problem), weights, config);
+}
 
 }  // namespace reasched::opt

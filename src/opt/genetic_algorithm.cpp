@@ -33,7 +33,7 @@ std::vector<std::size_t> order_crossover(const std::vector<std::size_t>& a,
   return child;
 }
 
-GaResult genetic_algorithm(const Problem& problem, std::vector<std::size_t> seed_order,
+GaResult genetic_algorithm(const ProblemView& problem, std::vector<std::size_t> seed_order,
                            const ObjectiveWeights& weights, const GaConfig& config,
                            util::Rng& rng) {
   GaResult best;

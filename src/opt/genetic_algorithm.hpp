@@ -28,9 +28,15 @@ struct GaResult {
   std::size_t evaluations = 0;
 };
 
-GaResult genetic_algorithm(const Problem& problem, std::vector<std::size_t> seed_order,
+GaResult genetic_algorithm(const ProblemView& problem, std::vector<std::size_t> seed_order,
                            const ObjectiveWeights& weights, const GaConfig& config,
                            util::Rng& rng);
+
+inline GaResult genetic_algorithm(const Problem& problem, std::vector<std::size_t> seed_order,
+                                  const ObjectiveWeights& weights, const GaConfig& config,
+                                  util::Rng& rng) {
+  return genetic_algorithm(ProblemView(problem), std::move(seed_order), weights, config, rng);
+}
 
 /// Order crossover (OX1): copy a random slice from parent A, fill the rest
 /// in parent B's relative order. Exposed for unit testing.

@@ -16,14 +16,34 @@ namespace reasched::opt {
 /// rank variables. branch_and_bound.cpp proves optimality within this space
 /// on small instances (verified against brute force in tests).
 ///
-/// `order` indexes into problem.jobs. Jobs are never started before
-/// max(problem.now, job.submit_time).
-PlannedSchedule decode_order(const Problem& problem, const std::vector<std::size_t>& order);
+/// `order` indexes into the view's job set (0..n_jobs-1). Jobs are never
+/// started before max(problem.now(), job.submit_time).
+PlannedSchedule decode_order(const ProblemView& problem, const std::vector<std::size_t>& order);
+
+/// Decode only the listed jobs (a prefix or subset of the view's job set),
+/// in the given order, against the same pinned resources. This is what
+/// branch-and-bound uses to cost a placed prefix without materializing a
+/// sub-Problem per node.
+PlannedSchedule decode_subset(const ProblemView& problem, const std::vector<std::size_t>& order);
 
 /// Common seed orderings for the metaheuristics.
-std::vector<std::size_t> order_by_arrival(const Problem& problem);
-std::vector<std::size_t> order_spt(const Problem& problem);   ///< shortest walltime first
-std::vector<std::size_t> order_lpt(const Problem& problem);   ///< longest walltime first
-std::vector<std::size_t> order_widest(const Problem& problem);///< most nodes first
+std::vector<std::size_t> order_by_arrival(const ProblemView& problem);
+std::vector<std::size_t> order_spt(const ProblemView& problem);    ///< shortest walltime first
+std::vector<std::size_t> order_lpt(const ProblemView& problem);    ///< longest walltime first
+std::vector<std::size_t> order_widest(const ProblemView& problem); ///< most nodes first
+
+/// Copying-Problem overloads (oracle path, tests, benches): same semantics
+/// through a borrowing view.
+inline PlannedSchedule decode_order(const Problem& p, const std::vector<std::size_t>& order) {
+  return decode_order(ProblemView(p), order);
+}
+inline std::vector<std::size_t> order_by_arrival(const Problem& p) {
+  return order_by_arrival(ProblemView(p));
+}
+inline std::vector<std::size_t> order_spt(const Problem& p) { return order_spt(ProblemView(p)); }
+inline std::vector<std::size_t> order_lpt(const Problem& p) { return order_lpt(ProblemView(p)); }
+inline std::vector<std::size_t> order_widest(const Problem& p) {
+  return order_widest(ProblemView(p));
+}
 
 }  // namespace reasched::opt

@@ -4,7 +4,7 @@
 
 namespace reasched::opt {
 
-LocalSearchResult local_search(const Problem& problem, std::vector<std::size_t> order,
+LocalSearchResult local_search(const ProblemView& problem, std::vector<std::size_t> order,
                                const ObjectiveWeights& weights, std::size_t max_evaluations) {
   LocalSearchResult result;
   result.order = std::move(order);

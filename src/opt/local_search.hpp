@@ -16,8 +16,14 @@ struct LocalSearchResult {
   std::size_t evaluations = 0;
 };
 
-LocalSearchResult local_search(const Problem& problem, std::vector<std::size_t> order,
+LocalSearchResult local_search(const ProblemView& problem, std::vector<std::size_t> order,
                                const ObjectiveWeights& weights,
                                std::size_t max_evaluations = 20000);
+
+inline LocalSearchResult local_search(const Problem& problem, std::vector<std::size_t> order,
+                                      const ObjectiveWeights& weights,
+                                      std::size_t max_evaluations = 20000) {
+  return local_search(ProblemView(problem), std::move(order), weights, max_evaluations);
+}
 
 }  // namespace reasched::opt

@@ -15,4 +15,19 @@ Problem Problem::from_context(const sim::DecisionContext& ctx) {
   return p;
 }
 
+ProblemView ProblemView::from_context(const sim::DecisionContext& ctx,
+                                      const std::vector<std::uint32_t>* window) {
+  ProblemView v;
+  v.now_ = ctx.now;
+  v.total_nodes_ = ctx.cluster.spec().total_nodes;
+  v.total_memory_gb_ = ctx.cluster.spec().total_memory_gb;
+  v.jobs_ = ctx.waiting;
+  if (window != nullptr) {
+    v.window_ = window->data();
+    v.n_window_ = window->size();
+  }
+  v.running_ = ctx.running;
+  return v;
+}
+
 }  // namespace reasched::opt

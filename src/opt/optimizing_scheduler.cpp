@@ -16,19 +16,20 @@ OptimizingScheduler::OptimizingScheduler(OptimizingSchedulerConfig config)
 void OptimizingScheduler::reset() {
   rng_ = util::Rng(config_.seed);
   priority_.clear();
+  window_scratch_.clear();
   insertions_since_reopt_ = 0;
   replans_ = 0;
   last_thought_.clear();
 }
 
-void OptimizingScheduler::full_replan(const Problem& problem) {
+void OptimizingScheduler::full_replan(const ProblemView& problem) {
   ++replans_;
-  if (problem.jobs.size() <= config_.bnb_threshold) {
+  if (problem.n_jobs() <= config_.bnb_threshold) {
     const BnbResult exact = branch_and_bound(problem, config_.weights);
     priority_.clear();
-    for (const std::size_t idx : exact.order) priority_.push_back(problem.jobs[idx].id);
+    for (const std::size_t idx : exact.order) priority_.push_back(problem.job(idx).id);
     last_thought_ = util::format("replan: branch-and-bound over %zu jobs (%zu nodes, %s)",
-                                 problem.jobs.size(), exact.explored,
+                                 problem.n_jobs(), exact.explored,
                                  exact.proven_optimal ? "proven optimal" : "budget-capped");
     return;
   }
@@ -54,24 +55,24 @@ void OptimizingScheduler::full_replan(const Problem& problem) {
   auto polished =
       local_search(problem, std::move(sa.order), config_.weights, config_.local_search_evals / 2);
   priority_.clear();
-  for (const std::size_t idx : polished.order) priority_.push_back(problem.jobs[idx].id);
+  for (const std::size_t idx : polished.order) priority_.push_back(problem.job(idx).id);
   last_thought_ = util::format("replan: SA portfolio over %zu jobs, objective %.1f",
-                               problem.jobs.size(), polished.score);
+                               problem.n_jobs(), polished.score);
   insertions_since_reopt_ = 0;
 }
 
-void OptimizingScheduler::insert_new_jobs(const Problem& problem) {
+void OptimizingScheduler::insert_new_jobs(const ProblemView& problem) {
   std::set<sim::JobId> planned(priority_.begin(), priority_.end());
   std::vector<sim::JobId> new_ids;
-  for (const auto& j : problem.jobs) {
-    if (planned.count(j.id) == 0) new_ids.push_back(j.id);
+  for (std::size_t i = 0; i < problem.n_jobs(); ++i) {
+    if (planned.count(problem.job(i).id) == 0) new_ids.push_back(problem.job(i).id);
   }
   if (new_ids.empty()) return;
 
-  // Map ids to indices in problem.jobs for decoding.
+  // Map ids to indices in the problem's job set for decoding.
   auto index_of = [&problem](sim::JobId id) {
-    for (std::size_t i = 0; i < problem.jobs.size(); ++i) {
-      if (problem.jobs[i].id == id) return i;
+    for (std::size_t i = 0; i < problem.n_jobs(); ++i) {
+      if (problem.job(i).id == id) return i;
     }
     throw std::logic_error("OptimizingScheduler: id not in problem");
   };
@@ -89,7 +90,7 @@ void OptimizingScheduler::insert_new_jobs(const Problem& problem) {
     for (std::size_t pos = 0; pos <= base.size(); ++pos) {
       std::vector<std::size_t> candidate = base;
       candidate.insert(candidate.begin() + static_cast<std::ptrdiff_t>(pos), new_idx);
-      const double score = evaluate(decode_order(problem, candidate), config_.weights);
+      const double score = evaluate(decode_subset(problem, candidate), config_.weights);
       if (first || score < best_score) {
         best_score = score;
         best_pos = pos;
@@ -109,13 +110,23 @@ sim::Action OptimizingScheduler::decide(const sim::DecisionContext& ctx) {
     return ctx.arrivals_pending || !ctx.ineligible.empty() ? sim::Action::delay()
                                                            : sim::Action::stop();
   }
-  const Problem problem = Problem::from_context(ctx);
+  // Oracle storage must outlive the view; it is only populated (and only
+  // pays the copy) in copy_problem_oracle mode.
+  Problem oracle;
+  ProblemView problem;
+  if (config_.copy_problem_oracle) {
+    oracle = Problem::from_context(ctx);
+    problem = ProblemView(oracle);
+  } else {
+    const bool bounded = config_.window.select(ctx.waiting, window_scratch_);
+    problem = ProblemView::from_context(ctx, bounded ? &window_scratch_ : nullptr);
+  }
 
-  // Prune departed ids, then plan newcomers.
-  std::set<sim::JobId> waiting_ids;
-  for (const auto& j : ctx.waiting) waiting_ids.insert(j.id);
+  // Prune ids that left the (windowed) job set, then plan newcomers.
+  std::set<sim::JobId> visible_ids;
+  for (std::size_t i = 0; i < problem.n_jobs(); ++i) visible_ids.insert(problem.job(i).id);
   priority_.erase(std::remove_if(priority_.begin(), priority_.end(),
-                                 [&](sim::JobId id) { return waiting_ids.count(id) == 0; }),
+                                 [&](sim::JobId id) { return visible_ids.count(id) == 0; }),
                   priority_.end());
   if (priority_.empty()) {
     full_replan(problem);
@@ -125,10 +136,9 @@ sim::Action OptimizingScheduler::decide(const sim::DecisionContext& ctx) {
 
   // Execute: start the highest-priority job that fits right now.
   for (const sim::JobId id : priority_) {
-    const auto it = std::find_if(ctx.waiting.begin(), ctx.waiting.end(),
-                                 [&](const sim::Job& j) { return j.id == id; });
-    if (it != ctx.waiting.end() && ctx.cluster.fits(*it)) {
-      return sim::Action::start(id);
+    for (std::size_t i = 0; i < problem.n_jobs(); ++i) {
+      const sim::Job& j = problem.job(i);
+      if (j.id == id && ctx.cluster.fits(j)) return sim::Action::start(id);
     }
   }
   return sim::Action::delay();

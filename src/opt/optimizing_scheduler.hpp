@@ -1,10 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "opt/branch_and_bound.hpp"
 #include "opt/objective.hpp"
 #include "opt/simulated_annealing.hpp"
+#include "sim/planning_window.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -22,6 +24,15 @@ struct OptimizingSchedulerConfig {
   /// cheap; periodic SA keeps the plan near-optimal).
   std::size_t reopt_every = 16;
   std::uint64_t seed = 1;
+  /// Planning window bounding how many waiting jobs each plan considers
+  /// (top_k = 0 reproduces the paper's all-jobs semantics exactly). Jobs
+  /// outside the window are invisible to the plan until they enter it -
+  /// the fixed-size-observation trade the related RL schedulers make.
+  sim::PlanningWindow window;
+  /// Differential-oracle mode (tests/test_opt_golden.cpp): plan over the
+  /// copying Problem::from_context snapshot instead of the zero-copy
+  /// ProblemView. Decisions must be bit-identical when window.top_k == 0.
+  bool copy_problem_oracle = false;
 };
 
 /// The OR-Tools stand-in (see DESIGN.md "Substitutions"): computes
@@ -43,13 +54,15 @@ class OptimizingScheduler final : public sim::Scheduler {
   std::size_t replans() const { return replans_; }
 
  private:
-  void full_replan(const Problem& problem);
-  void insert_new_jobs(const Problem& problem);
+  void full_replan(const ProblemView& problem);
+  void insert_new_jobs(const ProblemView& problem);
 
   OptimizingSchedulerConfig config_;
   util::Rng rng_;
   /// Priority order over job ids; execution starts the first fitting job.
   std::vector<sim::JobId> priority_;
+  /// Reused window-position scratch (avoids a per-decision allocation).
+  std::vector<std::uint32_t> window_scratch_;
   std::size_t insertions_since_reopt_ = 0;
   std::size_t replans_ = 0;
   std::string last_thought_;

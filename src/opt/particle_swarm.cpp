@@ -24,7 +24,7 @@ std::vector<std::pair<std::size_t, std::size_t>> swap_sequence(
   return swaps;
 }
 
-PsoResult particle_swarm(const Problem& problem, std::vector<std::size_t> seed_order,
+PsoResult particle_swarm(const ProblemView& problem, std::vector<std::size_t> seed_order,
                          const ObjectiveWeights& weights, const PsoConfig& config,
                          util::Rng& rng) {
   PsoResult best;

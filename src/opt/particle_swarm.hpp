@@ -28,9 +28,15 @@ struct PsoResult {
   std::size_t evaluations = 0;
 };
 
-PsoResult particle_swarm(const Problem& problem, std::vector<std::size_t> seed_order,
+PsoResult particle_swarm(const ProblemView& problem, std::vector<std::size_t> seed_order,
                          const ObjectiveWeights& weights, const PsoConfig& config,
                          util::Rng& rng);
+
+inline PsoResult particle_swarm(const Problem& problem, std::vector<std::size_t> seed_order,
+                                const ObjectiveWeights& weights, const PsoConfig& config,
+                                util::Rng& rng) {
+  return particle_swarm(ProblemView(problem), std::move(seed_order), weights, config, rng);
+}
 
 /// The swap sequence transforming `from` into `to` (both permutations of the
 /// same elements); applying it to `from` yields `to`. Exposed for testing.

@@ -7,7 +7,7 @@
 
 namespace reasched::opt {
 
-SaResult simulated_annealing(const Problem& problem, std::vector<std::size_t> seed_order,
+SaResult simulated_annealing(const ProblemView& problem, std::vector<std::size_t> seed_order,
                              const ObjectiveWeights& weights, const SaConfig& config,
                              util::Rng& rng) {
   SaResult best;

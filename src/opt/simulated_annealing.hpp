@@ -25,8 +25,14 @@ struct SaResult {
 /// moves). The classical metaheuristic the paper's related work cites
 /// (Bertsimas & Tsitsiklis 1993) applied to the list-schedule decoder;
 /// together with branch-and-bound it forms the OR-Tools-like baseline.
-SaResult simulated_annealing(const Problem& problem, std::vector<std::size_t> seed_order,
+SaResult simulated_annealing(const ProblemView& problem, std::vector<std::size_t> seed_order,
                              const ObjectiveWeights& weights, const SaConfig& config,
                              util::Rng& rng);
+
+inline SaResult simulated_annealing(const Problem& problem, std::vector<std::size_t> seed_order,
+                                    const ObjectiveWeights& weights, const SaConfig& config,
+                                    util::Rng& rng) {
+  return simulated_annealing(ProblemView(problem), std::move(seed_order), weights, config, rng);
+}
 
 }  // namespace reasched::opt

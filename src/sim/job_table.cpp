@@ -46,6 +46,19 @@ void JobTable::build(const std::vector<Job>& jobs) {
   tree_leaves_ = std::bit_ceil(std::max<std::uint32_t>(
       1u, static_cast<std::uint32_t>(jobs_.size())));
   tree_.assign(2 * static_cast<std::size_t>(tree_leaves_), WaitingAggregate{});
+
+  // Arrival-event rank: the static (submit_time, build position) order in
+  // which arrival events fire. stable_sort keeps build positions for tied
+  // submit times - exactly the EventQueue's (time, sequence) tie-break.
+  std::vector<std::uint32_t> by_event(jobs_.size());
+  std::iota(by_event.begin(), by_event.end(), 0u);
+  std::stable_sort(by_event.begin(), by_event.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return jobs_[a].submit_time < jobs_[b].submit_time;
+  });
+  event_rank_of_.resize(jobs_.size());
+  for (std::uint32_t r = 0; r < by_event.size(); ++r) {
+    event_rank_of_[by_event[r]] = r;
+  }
 }
 
 std::uint32_t JobTable::index_of(JobId id) const {
@@ -101,9 +114,23 @@ void JobTable::erase_waiting(std::uint32_t idx) {
   tree_update(rank_of_[idx], WaitingAggregate{});
 }
 
+void JobTable::insert_ineligible(std::uint32_t idx) {
+  // Engine-driven arrivals fire in event_rank order, so this is an O(1)
+  // append; the lower_bound keeps the sorted invariant for ad-hoc callers
+  // (tests) that arrive() out of submit order.
+  const auto pos = std::lower_bound(ineligible_.begin(), ineligible_.end(), idx,
+                                    [&](std::uint32_t a, std::uint32_t b) {
+                                      return event_rank_of_[a] < event_rank_of_[b];
+                                    });
+  ineligible_.insert(pos, idx);
+}
+
 void JobTable::promote(std::uint32_t idx) {
-  const auto pos = std::find(ineligible_.begin(), ineligible_.end(), idx);
-  if (pos == ineligible_.end()) {
+  const auto pos = std::lower_bound(ineligible_.begin(), ineligible_.end(), idx,
+                                    [&](std::uint32_t a, std::uint32_t b) {
+                                      return event_rank_of_[a] < event_rank_of_[b];
+                                    });
+  if (pos == ineligible_.end() || *pos != idx) {
     throw std::logic_error("JobTable: blocked job missing from ineligible list");
   }
   ineligible_.erase(pos);
@@ -118,7 +145,7 @@ void JobTable::arrive(JobId id) {
   if (meta_[idx].remaining_deps == 0) {
     insert_waiting(idx);
   } else {
-    ineligible_.push_back(idx);
+    insert_ineligible(idx);
     meta_[idx].state = JobState::kBlocked;
   }
 }

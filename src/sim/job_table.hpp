@@ -126,6 +126,7 @@ class JobTable {
   std::uint32_t index_of(JobId id) const;
   void insert_waiting(std::uint32_t idx);
   void erase_waiting(std::uint32_t idx);
+  void insert_ineligible(std::uint32_t idx);
   void promote(std::uint32_t idx);
   /// Write `agg` into the segment-tree leaf for arrival rank `rank` and
   /// recombine ancestors. O(log n).
@@ -150,8 +151,17 @@ class JobTable {
   std::vector<Job> jobs_;   ///< arena, dense-index keyed, stable after build
   std::vector<Meta> meta_;  ///< parallel to jobs_
   std::vector<std::uint32_t> waiting_;     ///< sorted by arrival_order
-  std::vector<std::uint32_t> ineligible_;  ///< arrival-event order
+  /// Arrived-but-blocked jobs, sorted by event_rank_of_ - which is exactly
+  /// arrival-event (push_back) order for engine-driven arrivals, so the
+  /// observable view order matches the seed while promote() can locate an
+  /// entry by binary search (O(log |blocked|)) instead of the seed's
+  /// std::find scan, which made DAG-heavy promotion storms O(|blocked|^2).
+  std::vector<std::uint32_t> ineligible_;
   std::unordered_map<JobId, std::uint32_t> id_to_index_;
+  /// Dense index -> rank in the static (submit_time, build position) total
+  /// order - the order arrival events fire in (EventQueue pops by time,
+  /// then by push sequence, and arrivals are pushed in build order).
+  std::vector<std::uint32_t> event_rank_of_;
 
   /// Policy-facing indexes (see class comment).
   std::vector<std::uint32_t> waiting_by_walltime_;  ///< sorted by sjf_order

@@ -1,0 +1,36 @@
+#include "sim/planning_window.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace reasched::sim {
+
+bool PlanningWindow::select(const ListView<Job>& waiting, std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (!bounds(waiting.size())) return false;
+
+  if (order == Order::kArrival) {
+    // The queue is already in arrival order: the window is its prefix.
+    out.resize(top_k);
+    std::iota(out.begin(), out.end(), 0u);
+    return true;
+  }
+
+  // Shortest-first: the head (always included - see struct comment) plus
+  // the K-1 minima under sjf_order among the rest, then restore queue
+  // (arrival) order so the window is a subsequence of the waiting queue.
+  out.resize(waiting.size() - 1);
+  std::iota(out.begin(), out.end(), 1u);
+  if (top_k > 1) {
+    std::nth_element(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(top_k - 2),
+                     out.end(), [&](std::uint32_t a, std::uint32_t b) {
+                       return sjf_order(waiting[a], waiting[b]);
+                     });
+  }
+  out.resize(top_k - 1);
+  out.push_back(0);
+  std::sort(out.begin(), out.end());
+  return true;
+}
+
+}  // namespace reasched::sim

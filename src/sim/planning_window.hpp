@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/job.hpp"
+#include "sim/views.hpp"
+
+namespace reasched::sim {
+
+/// Bounded decision-state observation (the fixed-size window idea of
+/// RLScheduler and the heterogeneous-mapping evaluations): a planner only
+/// considers the top-K waiting jobs under a configured order instead of the
+/// whole queue, so per-decision cost - solver evaluations, prompt tokens -
+/// stops growing with queue depth at trace scale.
+///
+/// `top_k == 0` means unbounded (the paper's original all-jobs semantics);
+/// bounded selections always preserve *queue positions in arrival order*, so
+/// a windowed problem is a subsequence of the waiting queue and downstream
+/// arrival-order reasoning (seed orderings, queue-head handling) stays
+/// meaningful. The queue head (position 0) is always part of a bounded
+/// window: it anchors reservation/backfill reasoning in every consumer
+/// (EASY-style shadow, the agent's blocked-head pressure), so it must be
+/// observable - a prompt may not hide the job that blocks the queue.
+struct PlanningWindow {
+  enum class Order {
+    kArrival,        ///< first K in queue (arrival) order - the default
+    kShortestFirst,  ///< head + K-1 shortest by sjf_order (walltime, arrival)
+  };
+
+  /// Window capacity; 0 disables the cap entirely.
+  std::size_t top_k = 0;
+  Order order = Order::kArrival;
+
+  /// Does the window actually bound a queue of this size?
+  bool bounds(std::size_t queue_size) const { return top_k != 0 && queue_size > top_k; }
+
+  /// Select the window over `waiting` (a queue in arrival order). Returns
+  /// false when the window is unbounded for this queue size (`out` is left
+  /// cleared - callers treat "no window" as all-jobs). Otherwise fills `out`
+  /// with the ascending queue positions of the selected jobs and returns
+  /// true. O(n) for arrival order, O(n + K log K) for shortest-first.
+  bool select(const ListView<Job>& waiting, std::vector<std::uint32_t>& out) const;
+};
+
+/// The one nullable-window indirection every consumer of a selected window
+/// (prompt rendering, policy scoring, token models) shares: candidate k is
+/// waiting[window[k]] under a bounded window, waiting[k] otherwise. Keeping
+/// a single implementation is what guarantees the prompt, the scoring loop
+/// and the token model see the identical candidate set.
+inline std::size_t windowed_size(const ListView<Job>& waiting,
+                                 const std::vector<std::uint32_t>* window) {
+  return window != nullptr ? window->size() : waiting.size();
+}
+inline const Job& windowed_job(const ListView<Job>& waiting,
+                               const std::vector<std::uint32_t>* window, std::size_t k) {
+  return window != nullptr ? waiting[(*window)[k]] : waiting[k];
+}
+
+}  // namespace reasched::sim

@@ -47,9 +47,9 @@ class WorkloadGenerator {
   std::vector<sim::Job> generate(std::size_t n, std::uint64_t seed,
                                  const GenerateOptions& options) const;
 
-  std::vector<sim::Job> generate(std::size_t n, std::uint64_t seed,
-                                 ArrivalMode mode = ArrivalMode::kPoisson,
-                                 const sim::ClusterSpec& cluster = sim::ClusterSpec::paper_default()) const {
+  std::vector<sim::Job> generate(
+      std::size_t n, std::uint64_t seed, ArrivalMode mode = ArrivalMode::kPoisson,
+      const sim::ClusterSpec& cluster = sim::ClusterSpec::paper_default()) const {
     GenerateOptions options;
     options.arrival_mode = mode;
     options.cluster = cluster;

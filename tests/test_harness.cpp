@@ -104,3 +104,42 @@ TEST(Sweep, StaticModeProducesZeroArrivals) {
   const auto jobs = rh::cell_jobs(config, rw::Scenario::kHeterogeneousMix, 8, 0);
   for (const auto& j : jobs) EXPECT_DOUBLE_EQ(j.submit_time, 0.0);
 }
+
+TEST(Sweep, StreamingMatchesRetainingSweep) {
+  rh::SweepConfig config;
+  config.scenarios = {rw::Scenario::kResourceSparse, rw::Scenario::kHomogeneousShort};
+  config.job_counts = {12};
+  config.methods = {rh::Method::kFcfs, rh::Method::kSjf};
+  config.repetitions = 2;
+  config.base_seed = 7;
+  config.threads = 2;
+
+  const auto retained = rh::run_sweep(config);
+  std::size_t sink_calls = 0;
+  const auto streamed = rh::run_sweep_streaming(
+      config, [&](const rh::Cell&, const rh::RunOutcome& outcome) {
+        ++sink_calls;
+        EXPECT_FALSE(outcome.schedule.completed.empty());
+      });
+
+  ASSERT_EQ(streamed.cells.size(), retained.size());
+  EXPECT_EQ(sink_calls, retained.size());
+  for (const auto& [cell, outcome] : retained) {
+    const auto it = streamed.cells.find(cell);
+    ASSERT_NE(it, streamed.cells.end());
+    EXPECT_DOUBLE_EQ(it->second.makespan, outcome.metrics.makespan);
+    EXPECT_DOUBLE_EQ(it->second.avg_wait, outcome.metrics.avg_wait);
+  }
+
+  // Group aggregates equal the retaining path's aggregate_sweep (which also
+  // reduces in deterministic key order).
+  const auto groups = rh::aggregate_sweep(retained);
+  ASSERT_EQ(streamed.groups.size(), groups.size());
+  for (const auto& [key, agg] : groups) {
+    const auto it = streamed.groups.find(key);
+    ASSERT_NE(it, streamed.groups.end());
+    EXPECT_EQ(it->second.n_samples(), agg.n_samples());
+    EXPECT_DOUBLE_EQ(it->second.mean(reasched::metrics::Metric::kMakespan),
+                     agg.mean(reasched::metrics::Metric::kMakespan));
+  }
+}

@@ -7,7 +7,9 @@
 #include <map>
 
 #include "harness/methods.hpp"
+#include "sched/fcfs.hpp"
 #include "sim/engine.hpp"
+#include "sim/reference_engine.hpp"
 #include "util/rng.hpp"
 
 namespace rs = reasched::sim;
@@ -114,5 +116,65 @@ TEST(DagScheduling, DiamondCriticalPath) {
     const auto result = engine.run(jobs, *scheduler);
     EXPECT_DOUBLE_EQ(result.find(4).start_time, 300.0) << rh::method_name(method);
     EXPECT_DOUBLE_EQ(result.final_time, 350.0) << rh::method_name(method);
+  }
+}
+
+TEST(DagScheduling, PromotionStormFanOut) {
+  // DAG-heavy regression for the O(log n) ineligible-promotion index: one
+  // root fans out to a large blocked cohort that all arrives before the
+  // root finishes, so its completion promotes every dependent in one event
+  // (the seed's std::find-based erase made this O(|blocked|^2)). The run
+  // must complete with every dependent starting at/after the root's end.
+  constexpr int kDependents = 2000;
+  std::vector<rs::Job> jobs;
+  jobs.reserve(kDependents + 1);
+  rs::Job root;
+  root.id = 1;
+  root.user = 1;
+  root.nodes = 256;  // monopolize the cluster so nothing overtakes it
+  root.memory_gb = 2048;
+  root.duration = root.walltime = 500.0;
+  jobs.push_back(root);
+  for (int i = 0; i < kDependents; ++i) {
+    rs::Job j;
+    j.id = 2 + i;
+    j.user = 1 + i % 5;
+    j.nodes = 1 + i % 8;
+    j.memory_gb = 2.0 + i % 16;
+    j.duration = j.walltime = 5.0 + i % 40;
+    j.submit_time = 1.0 + 0.1 * i;  // all arrive while the root runs
+    j.dependencies = {1};
+    jobs.push_back(std::move(j));
+  }
+
+  reasched::sched::FcfsScheduler fcfs;
+  rs::Engine engine;
+  const auto result = engine.run(jobs, fcfs);
+  ASSERT_EQ(result.completed.size(), jobs.size());
+  const double root_end = result.find(1).end_time;
+  for (const auto& c : result.completed) {
+    if (c.job.id == 1) continue;
+    EXPECT_GE(c.start_time, root_end) << "job " << c.job.id;
+  }
+}
+
+TEST(DagScheduling, PromotionOrderMatchesReferenceEngine) {
+  // Mixed promotions and arrivals: the indexed table's ineligible ordering
+  // and promotion path must stay bit-identical to the seed-semantics
+  // ReferenceEngine across random DAGs.
+  for (const std::uint64_t seed : {3u, 17u, 41u}) {
+    const auto jobs = random_dag_jobs(seed, 120);
+    reasched::sched::FcfsScheduler fcfs;
+    rs::Engine indexed;
+    rs::ReferenceEngine reference;
+    const auto got = indexed.run(jobs, fcfs);
+    const auto want = reference.run(jobs, fcfs);
+    ASSERT_EQ(got.completed.size(), want.completed.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < got.completed.size(); ++i) {
+      ASSERT_EQ(got.completed[i].job.id, want.completed[i].job.id);
+      EXPECT_DOUBLE_EQ(got.completed[i].start_time, want.completed[i].start_time)
+          << "seed " << seed << " job " << got.completed[i].job.id;
+    }
+    EXPECT_EQ(got.n_decisions, want.n_decisions) << "seed " << seed;
   }
 }

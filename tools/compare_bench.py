@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""Tolerance-aware bench-regression gate.
+
+Compares one or more current bench JSON files (flat {"metric": value}
+objects produced by the scaling benches' --json flag) against the checked-in
+baseline and fails on regressions:
+
+    python3 tools/compare_bench.py --baseline BENCH_baseline.json \
+        current_engine.json current_policy.json current_opt.json \
+        [--tolerance 0.25] [--gate-suffix dec_per_s]
+
+Gating rules
+------------
+* Only metrics whose name ends with --gate-suffix (default "dec_per_s",
+  i.e. decisions/sec, higher is better) are gated; anything else in the
+  files is informational.
+* A gated metric regresses when current < baseline * scale * (1 -
+  tolerance), where scale is 1.0 by default. The default tolerance of 0.25
+  is deliberately wide so the gate catches algorithmic slowdowns (the
+  deliberate no-op-loop test commit trips it immediately), not jitter.
+* With --calibrate (what CI uses), scale is the median over *per-family*
+  medians of the current/baseline ratio, where a metric's family is its
+  name up to the first '/' (engine/, policy/, opt/). The baseline values
+  are machine-specific (generated on a reference dev machine), so raw
+  comparison on a slower CI runner would false-fail everything; calibration
+  makes the gate machine-independent and catches *selective* regressions.
+  Taking the median of family medians - rather than of all metrics - stops
+  the family with the most metrics (opt/ contributes 24 of 30) from
+  dragging the scale with it: a uniform slowdown of one whole family still
+  fails against the other families' scale. The residual blind spot is a
+  change that slows a *majority of families* by the same factor - that is
+  indistinguishable from a slower machine; the per-metric raw mode (no
+  --calibrate) on a known machine covers it.
+* A gated baseline metric missing from the current run fails too - a
+  renamed or silently dropped bench metric must be an explicit baseline
+  update, not a quiet gap in coverage.
+* Metrics present only in the current run are reported (they become gated
+  once added to the baseline).
+
+Updating the baseline
+---------------------
+After an intentional perf change (or on a new reference machine), rebuild
+Release, rerun the three scaling benches with --json, merge and commit:
+
+    python3 tools/compare_bench.py --merge-to BENCH_baseline.json \
+        current_engine.json current_policy.json current_opt.json
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_merged(paths):
+    merged = {}
+    for path in paths:
+        with open(path) as f:
+            data = json.load(f)
+        if not isinstance(data, dict):
+            sys.exit(f"error: {path} is not a flat JSON object")
+        for key, value in data.items():
+            if key in merged:
+                sys.exit(f"error: duplicate metric '{key}' (second copy in {path})")
+            merged[key] = value
+    return merged
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("current", nargs="+", help="bench --json output file(s)")
+    parser.add_argument("--baseline", help="checked-in baseline JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed fractional drop on gated metrics (default 0.25)")
+    parser.add_argument("--gate-suffix", default="dec_per_s",
+                        help="gate metrics whose name ends with this (default dec_per_s)")
+    parser.add_argument("--calibrate", action="store_true",
+                        help="rescale the baseline by the median of per-family median "
+                             "current/baseline ratios before gating (machine-independent; "
+                             "catches selective regressions - see docstring)")
+    parser.add_argument("--merge-to", metavar="PATH",
+                        help="write the merged current metrics to PATH and exit "
+                             "(baseline regeneration)")
+    args = parser.parse_args()
+
+    current = load_merged(args.current)
+
+    if args.merge_to:
+        with open(args.merge_to, "w") as f:
+            json.dump(current, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {len(current)} metric(s) to {args.merge_to}")
+        return
+
+    if not args.baseline:
+        sys.exit("error: --baseline is required unless --merge-to is given")
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    gated = lambda name: name.endswith(args.gate_suffix)
+    regressions, missing, ok = [], [], 0
+
+    scale = 1.0
+    if args.calibrate:
+        family_ratios = {}
+        for k in baseline:
+            if gated(k) and k in current and float(baseline[k]) > 0.0:
+                family_ratios.setdefault(k.split("/", 1)[0], []).append(
+                    float(current[k]) / float(baseline[k]))
+        if family_ratios:
+            family_medians = {fam: statistics.median(rs) for fam, rs in family_ratios.items()}
+            scale = statistics.median(family_medians.values())
+            per_family = ", ".join(f"{fam}={m:.3f}" for fam, m in sorted(family_medians.items()))
+            print(f"calibration: scale = {scale:.3f} (median of family medians: {per_family})\n")
+
+    for name in sorted(baseline):
+        if not gated(name):
+            continue
+        base = float(baseline[name])
+        if name not in current:
+            missing.append(name)
+            continue
+        cur = float(current[name])
+        floor = base * scale * (1.0 - args.tolerance)
+        status = "REGRESSION" if cur < floor else "ok"
+        if cur < floor:
+            regressions.append(name)
+        else:
+            ok += 1
+        print(f"  {status:>10}  {name}: {cur:.1f} vs baseline {base:.1f} "
+              f"(floor {floor:.1f}, {cur / (base * scale) - 1.0:+.1%} after calibration)")
+
+    new = sorted(k for k in current if gated(k) and k not in baseline)
+    for name in new:
+        print(f"  {'new':>10}  {name}: {float(current[name]):.1f} (not in baseline)")
+
+    print(f"\n{ok} gated metric(s) within tolerance, {len(regressions)} regression(s), "
+          f"{len(missing)} missing, {len(new)} new")
+    if missing:
+        print("missing from current run (baseline out of date or bench metric dropped):")
+        for name in missing:
+            print(f"  {name}")
+    if regressions or missing:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()
