@@ -31,7 +31,7 @@ int main() {
   util::CsvTable csv({"method", "strategy", "mean_racks_spanned", "single_rack_fraction",
                       "peak_fragmented_racks"});
 
-  for (const auto method : harness::paper_methods()) {
+  for (const auto& method : harness::paper_methods()) {
     const auto outcome = harness::run_method(jobs, method, 5151);
     for (const auto strategy :
          {sim::PlacementStrategy::kFirstFit, sim::PlacementStrategy::kContiguousBestFit}) {

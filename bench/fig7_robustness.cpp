@@ -35,8 +35,8 @@ int main() {
       {"Metric", "Method", "Min", "Q1", "Median", "Q3", "Max", "Mean", "StdDev"});
   util::CsvTable csv({"metric", "method", "rep", "value", "normalized"});
 
-  std::map<harness::Method, metrics::MetricAggregate> aggregates;
-  for (const auto method : harness::paper_methods()) {
+  std::map<harness::MethodSpec, metrics::MetricAggregate> aggregates;
+  for (const auto& method : harness::paper_methods()) {
     for (std::size_t rep = 0; rep < kReps; ++rep) {
       const auto outcome =
           harness::run_method(jobs, method, util::derive_seed(5150, "rep", rep + 1));
@@ -52,7 +52,7 @@ int main() {
 
   for (const auto metric : metrics::all_metrics()) {
     const double base = baseline.get(metric);
-    for (const auto method : harness::paper_methods()) {
+    for (const auto& method : harness::paper_methods()) {
       auto values = aggregates[method].values(metric);
       if (base != 0.0) {
         for (auto& v : values) v /= base;
@@ -70,7 +70,7 @@ int main() {
 
   // Variance headline: deterministic heuristics flat, LLMs tight, OR looser
   // on fairness.
-  auto fairness_std = [&](harness::Method m) {
+  auto fairness_std = [&](const harness::MethodSpec& m) {
     return util::stddev(aggregates[m].values(metrics::Metric::kWaitFairness));
   };
   std::printf("Wait-fairness stddev across reps: FCFS %.4f | SJF %.4f | OR-Tools* %.4f | "

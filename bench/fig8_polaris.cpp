@@ -35,7 +35,7 @@ int main() {
   engine.cluster = sim::ClusterSpec::polaris();
 
   std::vector<metrics::MethodResult> rows;
-  for (const auto method : harness::paper_methods()) {
+  for (const auto& method : harness::paper_methods()) {
     const auto outcome = harness::run_method(jobs, method, 20241101, engine);
     rows.push_back({harness::method_name(method), outcome.metrics});
     if (outcome.overhead) {

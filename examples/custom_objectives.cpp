@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
 
   // FCFS baseline first (the normalization anchor), then the three agents.
   {
-    const auto outcome = harness::run_method(jobs, harness::Method::kFcfs, seed);
+    const auto outcome = harness::run_method(jobs, "fcfs", seed);
     rows.push_back({"FCFS", outcome.metrics});
   }
   for (const auto& profile :

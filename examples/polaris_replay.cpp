@@ -67,12 +67,12 @@ int main(int argc, char** argv) {
       return jobs;
     };
     const auto results = harness::run_sweep(sweep);
-    for (const auto method : harness::paper_methods()) {  // presentation order
+    for (const auto& method : harness::paper_methods()) {  // presentation order
       const harness::Cell cell{sweep.scenarios[0], jobs.size(), method, 0};
       rows.push_back({harness::method_name(method), results.at(cell).metrics});
     }
   } else {
-    for (const auto method : harness::paper_methods()) {
+    for (const auto& method : harness::paper_methods()) {
       const auto outcome = harness::run_method(jobs, method, seed, engine);
       rows.push_back({harness::method_name(method), outcome.metrics});
     }

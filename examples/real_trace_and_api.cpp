@@ -47,8 +47,7 @@ int main(int argc, char** argv) {
   }
 
   std::vector<metrics::MethodResult> rows;
-  for (const auto method :
-       {harness::Method::kFcfs, harness::Method::kEasyBackfill, harness::Method::kClaude37}) {
+  for (const harness::MethodSpec method : {"fcfs", "easy", "agent:claude37"}) {
     const auto outcome = harness::run_method(jobs, method, 77);
     rows.push_back({harness::method_name(method), outcome.metrics});
   }

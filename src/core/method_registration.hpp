@@ -1,0 +1,16 @@
+#pragma once
+
+namespace reasched::harness {
+class MethodRegistry;
+}
+
+namespace reasched::core {
+
+/// Register the ReAct agents with the harness method registry, one per
+/// simulated model endpoint: `agent:claude37`, `agent:o4mini` (the paper's
+/// two models) and `agent:fastlocal` (the on-prem extension profile). The
+/// AgentConfig knobs - planning window, scratchpad, objective block - are
+/// spec parameters, so agent-profile ablations are ordinary grid axes.
+void register_methods(harness::MethodRegistry& registry);
+
+}  // namespace reasched::core

@@ -4,8 +4,8 @@
 
 namespace reasched::harness {
 
-RunOutcome run_method(const std::vector<sim::Job>& jobs, Method method, std::uint64_t seed,
-                      const sim::EngineConfig& engine_config) {
+RunOutcome run_method(const std::vector<sim::Job>& jobs, const MethodSpec& method,
+                      std::uint64_t seed, const sim::EngineConfig& engine_config) {
   const auto scheduler = make_scheduler(method, seed);
   sim::Engine engine(engine_config);
 

@@ -29,8 +29,10 @@ struct RunOutcome {
 };
 
 /// Run `method` over `jobs` with the given seed/engine config. The engine
-/// config's cluster must match the one the jobs were generated for.
-RunOutcome run_method(const std::vector<sim::Job>& jobs, Method method, std::uint64_t seed,
-                      const sim::EngineConfig& engine_config = {});
+/// config's cluster must match the one the jobs were generated for. Accepts
+/// any spec (enum values and string literals convert implicitly):
+/// `run_method(jobs, "agent:claude37?window=arrival:32", seed)`.
+RunOutcome run_method(const std::vector<sim::Job>& jobs, const MethodSpec& method,
+                      std::uint64_t seed, const sim::EngineConfig& engine_config = {});
 
 }  // namespace reasched::harness

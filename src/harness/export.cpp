@@ -44,10 +44,14 @@ util::CsvTable overhead_to_csv(const OverheadSummary& overhead,
   return t;
 }
 
-std::string run_to_json(const RunOutcome& outcome, const std::string& method_name) {
+namespace {
+
+std::string run_to_json_impl(const RunOutcome& outcome, const std::string& method_name,
+                             const MethodSpec* spec) {
   util::JsonWriter w;
   w.begin_object();
   w.kv("method", method_name);
+  if (spec != nullptr) w.kv("method_spec", spec->to_string());
 
   w.key("metrics").begin_object();
   for (const auto metric : metrics::all_metrics()) {
@@ -97,6 +101,32 @@ std::string run_to_json(const RunOutcome& outcome, const std::string& method_nam
   }
   w.end_object();
   return w.str();
+}
+
+}  // namespace
+
+std::string run_to_json(const RunOutcome& outcome, const std::string& method_name) {
+  // A name that parses as a spec of a registered method is a spec however
+  // it arrived (literal, CLI string, config file) - export it losslessly.
+  // Registry display labels ("FCFS", "Claude 3.7?...") never parse as
+  // registered specs (uppercase/spaces), so labels stay plain labels.
+  try {
+    const MethodSpec spec = MethodSpec::parse(method_name);
+    if (MethodRegistry::instance().find(spec.name) != nullptr) {
+      return run_to_json(outcome, spec);
+    }
+  } catch (const MethodSpecError&) {
+    // Not spec grammar - a plain label.
+  }
+  return run_to_json_impl(outcome, method_name, nullptr);
+}
+
+std::string run_to_json(const RunOutcome& outcome, const MethodSpec& method) {
+  return run_to_json_impl(outcome, method_name(method), &method);
+}
+
+std::string run_to_json(const RunOutcome& outcome, const char* method_name_or_spec) {
+  return run_to_json(outcome, std::string(method_name_or_spec));
 }
 
 void save_run_json(const RunOutcome& outcome, const std::string& method_name,

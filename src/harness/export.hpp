@@ -25,8 +25,22 @@ util::CsvTable overhead_to_csv(const OverheadSummary& overhead,
                                const sim::ScheduleResult& result);
 
 /// Full run bundle as a JSON document (schedule, counters, metrics,
-/// optional overhead).
+/// optional overhead). A string that parses as a spec of a registered
+/// method - however it arrived: literal, CLI value, config file - exports
+/// through the spec path below, so the "method_spec" field is never
+/// silently dropped; anything else (display labels like "Claude 3.7",
+/// which never parse as registered specs) is a plain label.
 std::string run_to_json(const RunOutcome& outcome, const std::string& method_name);
+
+/// Spec-keyed variant: labels the document with the presentation name and
+/// additionally records the canonical spec string ("method_spec"), so a
+/// parameterized variant (`opt:portfolio?window=sjf:64`) stays losslessly
+/// reconstructible from its export.
+std::string run_to_json(const RunOutcome& outcome, const MethodSpec& method);
+
+/// Disambiguates string literals (both std::string and MethodSpec convert
+/// from const char*); same spec-or-label handling as the std::string form.
+std::string run_to_json(const RunOutcome& outcome, const char* method_name_or_spec);
 
 /// Convenience: write run_to_json to a file.
 void save_run_json(const RunOutcome& outcome, const std::string& method_name,

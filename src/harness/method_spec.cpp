@@ -1,0 +1,271 @@
+#include "harness/method_spec.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/method_registration.hpp"
+#include "opt/method_registration.hpp"
+#include "sched/method_registration.hpp"
+#include "util/string_utils.hpp"
+
+namespace reasched::harness {
+
+namespace {
+
+bool valid_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == ':' || c == '_' || c == '.' ||
+         c == '-';
+}
+
+bool valid_key_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+std::string canonical_name(Method m) {
+  switch (m) {
+    case Method::kFcfs: return "fcfs";
+    case Method::kSjf: return "sjf";
+    case Method::kOrTools: return "opt:portfolio";
+    case Method::kClaude37: return "agent:claude37";
+    case Method::kO4Mini: return "agent:o4mini";
+    case Method::kEasyBackfill: return "easy";
+    case Method::kFastLocal: return "agent:fastlocal";
+  }
+  throw std::invalid_argument("MethodSpec: unknown Method enumerator");
+}
+
+}  // namespace
+
+MethodSpec::MethodSpec(Method m) : name(canonical_name(m)) {}
+
+MethodSpec::MethodSpec(const std::string& spec) : MethodSpec(parse(spec)) {}
+
+MethodSpec::MethodSpec(const char* spec) : MethodSpec(parse(spec)) {}
+
+MethodSpec::MethodSpec(std::string name_in, std::map<std::string, std::string> params_in)
+    : name(std::move(name_in)), params(std::move(params_in)) {}
+
+MethodSpec MethodSpec::parse(std::string_view spec) {
+  const std::string s = util::trim(spec);
+  if (s.empty()) throw MethodSpecError("method spec is empty");
+
+  MethodSpec out;
+  const auto q = s.find('?');
+  out.name = s.substr(0, q);
+  if (out.name.empty()) {
+    throw MethodSpecError("method spec '" + s + "' has no name before '?'");
+  }
+  for (const char c : out.name) {
+    if (!valid_name_char(c)) {
+      throw MethodSpecError("method name '" + out.name + "' contains invalid character '" +
+                            std::string(1, c) + "' (allowed: a-z 0-9 : _ . -)");
+    }
+  }
+  if (q == std::string::npos) return out;
+
+  const std::string param_str = s.substr(q + 1);
+  if (param_str.empty()) {
+    throw MethodSpecError("method spec '" + s + "' has '?' but no parameters");
+  }
+  for (const std::string& kv : util::split(param_str, '&')) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size()) {
+      throw MethodSpecError("parameter '" + kv + "' in spec '" + s +
+                            "' is not of the form key=value");
+    }
+    const std::string key = kv.substr(0, eq);
+    for (const char c : key) {
+      if (!valid_key_char(c)) {
+        throw MethodSpecError("parameter key '" + key + "' in spec '" + s +
+                              "' contains invalid character '" + std::string(1, c) +
+                              "' (allowed: a-z 0-9 _)");
+      }
+    }
+    if (!out.params.emplace(key, kv.substr(eq + 1)).second) {
+      throw MethodSpecError("duplicate parameter '" + key + "' in spec '" + s + "'");
+    }
+  }
+  return out;
+}
+
+std::string MethodSpec::to_string() const {
+  if (params.empty()) return name;
+  std::string out = name;
+  char sep = '?';
+  for (const auto& [key, value] : params) {  // std::map: sorted, canonical
+    out += sep;
+    out += key;
+    out += '=';
+    out += value;
+    sep = '&';
+  }
+  return out;
+}
+
+const std::string* MethodSpec::find_param(const std::string& key) const {
+  const auto it = params.find(key);
+  return it == params.end() ? nullptr : &it->second;
+}
+
+long long ParamReader::get_int(const std::string& key, long long fallback, long long min_value,
+                               long long max_value) const {
+  const std::string* v = spec_->find_param(key);
+  if (v == nullptr) return fallback;
+  const auto parsed = util::parse_int(*v);
+  if (!parsed) {
+    throw MethodSpecError("method '" + spec_->name + "': parameter '" + key +
+                          "' expects an integer, got '" + *v + "'");
+  }
+  if (*parsed < min_value || *parsed > max_value) {
+    throw MethodSpecError("method '" + spec_->name + "': parameter '" + key +
+                          "' must be in [" + std::to_string(min_value) + ", " +
+                          std::to_string(max_value) + "], got '" + *v + "'");
+  }
+  return *parsed;
+}
+
+bool ParamReader::get_bool(const std::string& key, bool fallback) const {
+  const std::string* v = spec_->find_param(key);
+  if (v == nullptr) return fallback;
+  const std::string lower = util::to_lower(*v);
+  if (lower == "true" || lower == "1" || lower == "on") return true;
+  if (lower == "false" || lower == "0" || lower == "off") return false;
+  throw MethodSpecError("method '" + spec_->name + "': parameter '" + key +
+                        "' expects a boolean (true/false/1/0/on/off), got '" + *v + "'");
+}
+
+sim::PlanningWindow ParamReader::get_window(const std::string& key,
+                                            const sim::PlanningWindow& auto_value) const {
+  const std::string* v = spec_->find_param(key);
+  if (v == nullptr) return {};  // absent: unbounded, the paper's semantics
+  if (*v == "auto") return auto_value;
+
+  const auto parts = util::split(*v, ':');
+  std::string order_token = "arrival";
+  std::string k_token;
+  if (parts.size() == 1) {
+    k_token = parts[0];
+  } else if (parts.size() == 2) {
+    order_token = parts[0];
+    k_token = parts[1];
+  } else {
+    throw MethodSpecError("method '" + spec_->name + "': parameter '" + key +
+                          "' expects K, order:K or auto (order: arrival|sjf), got '" + *v + "'");
+  }
+
+  sim::PlanningWindow window;
+  if (order_token == "arrival") {
+    window.order = sim::PlanningWindow::Order::kArrival;
+  } else if (order_token == "sjf") {
+    window.order = sim::PlanningWindow::Order::kShortestFirst;
+  } else {
+    throw MethodSpecError("method '" + spec_->name + "': parameter '" + key +
+                          "': unknown window order '" + order_token + "' (use arrival or sjf)");
+  }
+  const auto k = util::parse_int(k_token);
+  if (!k || *k < 0) {
+    throw MethodSpecError("method '" + spec_->name + "': parameter '" + key +
+                          "': window size must be a non-negative integer, got '" + *v + "'");
+  }
+  window.top_k = static_cast<std::size_t>(*k);
+  return window;
+}
+
+std::string window_to_string(const sim::PlanningWindow& window) {
+  const char* order =
+      window.order == sim::PlanningWindow::Order::kShortestFirst ? "sjf" : "arrival";
+  return std::string(order) + ":" + std::to_string(window.top_k);
+}
+
+MethodRegistry& MethodRegistry::instance() {
+  // Magic-static init is thread-safe; each layer's factories register their
+  // builders here exactly once, before the first lookup returns.
+  static MethodRegistry registry = [] {
+    MethodRegistry r;
+    sched::register_methods(r);
+    opt::register_methods(r);
+    core::register_methods(r);
+    return r;
+  }();
+  return registry;
+}
+
+void MethodRegistry::add(MethodInfo info) {
+  if (info.name.empty()) throw std::logic_error("MethodRegistry::add: empty method name");
+  if (!info.build) {
+    throw std::logic_error("MethodRegistry::add: method '" + info.name + "' has no builder");
+  }
+  const std::string name = info.name;
+  if (!methods_.emplace(name, std::move(info)).second) {
+    throw std::logic_error("MethodRegistry::add: duplicate method name '" + name + "'");
+  }
+}
+
+const MethodInfo* MethodRegistry::find(const std::string& name) const {
+  const auto it = methods_.find(name);
+  return it == methods_.end() ? nullptr : &it->second;
+}
+
+const MethodInfo& MethodRegistry::at(const std::string& name) const {
+  const MethodInfo* info = find(name);
+  if (info == nullptr) {
+    throw MethodSpecError("unknown method '" + name + "'; registered methods: " +
+                          util::join(names(), ", "));
+  }
+  return *info;
+}
+
+std::vector<std::string> MethodRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(methods_.size());
+  for (const auto& [name, info] : methods_) out.push_back(name);
+  return out;  // std::map iteration: already sorted
+}
+
+std::unique_ptr<sim::Scheduler> MethodRegistry::build(const MethodSpec& spec,
+                                                      std::uint64_t seed) const {
+  const MethodInfo& info = at(spec.name);
+  for (const auto& [key, value] : spec.params) {
+    const bool declared = std::any_of(info.params.begin(), info.params.end(),
+                                      [&](const ParamInfo& p) { return p.key == key; });
+    if (!declared) {
+      std::vector<std::string> accepted;
+      for (const auto& p : info.params) accepted.push_back(p.key);
+      throw MethodSpecError("method '" + spec.name + "' does not accept parameter '" + key +
+                            "'; accepted parameters: " +
+                            (accepted.empty() ? "(none)" : util::join(accepted, ", ")));
+    }
+  }
+  return info.build(spec, seed);
+}
+
+std::string MethodRegistry::describe() const {
+  std::string out;
+  for (const auto& [name, info] : methods_) {
+    out += util::format("%-18s %-14s %s\n", name.c_str(), info.display_label.c_str(),
+                        info.doc.c_str());
+    for (const auto& p : info.params) {
+      out += util::format("    %-18s %-7s default=%-12s %s\n", p.key.c_str(), p.type.c_str(),
+                          p.default_value.c_str(), p.doc.c_str());
+    }
+  }
+  return out;
+}
+
+std::vector<MethodSpec> dedup_methods(const std::vector<MethodSpec>& methods) {
+  std::vector<MethodSpec> unique;
+  std::set<MethodSpec> seen;
+  for (const auto& method : methods) {
+    if (seen.insert(method).second) unique.push_back(method);
+  }
+  return unique;
+}
+
+std::string method_label(const MethodSpec& spec) {
+  // Reuse the canonical serializer for the parameter suffix, so labels can
+  // never drift from spec strings (labels feed cell_seed derivation).
+  return MethodRegistry::instance().at(spec.name).display_label +
+         spec.to_string().substr(spec.name.size());
+}
+
+}  // namespace reasched::harness

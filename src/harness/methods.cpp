@@ -1,53 +1,21 @@
 #include "harness/methods.hpp"
 
-#include <stdexcept>
-
-#include "core/factory.hpp"
-#include "opt/optimizing_scheduler.hpp"
-#include "sched/easy_backfill.hpp"
-#include "sched/fcfs.hpp"
-#include "sched/sjf.hpp"
-
 namespace reasched::harness {
 
-const std::vector<Method>& paper_methods() {
-  static const std::vector<Method> v = {Method::kFcfs, Method::kSjf, Method::kOrTools,
-                                        Method::kClaude37, Method::kO4Mini};
+const std::vector<MethodSpec>& paper_methods() {
+  static const std::vector<MethodSpec> v = {Method::kFcfs, Method::kSjf, Method::kOrTools,
+                                            Method::kClaude37, Method::kO4Mini};
   return v;
 }
 
-std::string method_name(Method m) {
-  switch (m) {
-    case Method::kFcfs: return "FCFS";
-    case Method::kSjf: return "SJF";
-    case Method::kOrTools: return "OR-Tools*";
-    case Method::kClaude37: return "Claude 3.7";
-    case Method::kO4Mini: return "O4-Mini";
-    case Method::kEasyBackfill: return "EASY-Backfill";
-    case Method::kFastLocal: return "Fast-Local";
-  }
-  return "?";
+std::string method_name(const MethodSpec& spec) { return method_label(spec); }
+
+bool is_llm_method(const MethodSpec& spec) {
+  return MethodRegistry::instance().at(spec.name).is_llm;
 }
 
-bool is_llm_method(Method m) {
-  return m == Method::kClaude37 || m == Method::kO4Mini || m == Method::kFastLocal;
-}
-
-std::unique_ptr<sim::Scheduler> make_scheduler(Method m, std::uint64_t seed) {
-  switch (m) {
-    case Method::kFcfs: return std::make_unique<sched::FcfsScheduler>();
-    case Method::kSjf: return std::make_unique<sched::SjfScheduler>();
-    case Method::kEasyBackfill: return std::make_unique<sched::EasyBackfillScheduler>();
-    case Method::kOrTools: {
-      opt::OptimizingSchedulerConfig config;
-      config.seed = seed;
-      return std::make_unique<opt::OptimizingScheduler>(config);
-    }
-    case Method::kClaude37: return core::make_claude37_agent(seed);
-    case Method::kO4Mini: return core::make_o4mini_agent(seed);
-    case Method::kFastLocal: return core::make_fast_local_agent(seed);
-  }
-  throw std::invalid_argument("make_scheduler: unknown method");
+std::unique_ptr<sim::Scheduler> make_scheduler(const MethodSpec& spec, std::uint64_t seed) {
+  return MethodRegistry::instance().build(spec, seed);
 }
 
 }  // namespace reasched::harness

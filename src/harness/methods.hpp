@@ -4,30 +4,33 @@
 #include <string>
 #include <vector>
 
+#include "harness/method_spec.hpp"
 #include "sim/scheduler.hpp"
 
 namespace reasched::harness {
 
-/// The scheduling methods compared in the paper's figures, plus the
-/// extensions this reproduction adds (EASY backfilling, on-prem profile).
-enum class Method {
-  kFcfs,
-  kSjf,
-  kOrTools,   ///< optimization baseline (OR-Tools substitute, src/opt)
-  kClaude37,  ///< ReAct agent, Claude 3.7 profile
-  kO4Mini,    ///< ReAct agent, O4-Mini profile
-  kEasyBackfill,
-  kFastLocal,
-};
+/// The method layer's public surface, now spec-keyed: every function takes a
+/// `MethodSpec`, and the legacy `Method` enum (declared in method_spec.hpp)
+/// converts implicitly to its canonical spec, so enum call sites keep
+/// working unchanged while string specs unlock parameterized variants
+/// (`opt:portfolio?budget=2000&window=sjf:64`) everywhere a method goes.
 
-/// The five methods of Figures 3/4/7/8, in presentation order.
-const std::vector<Method>& paper_methods();
+/// The five methods of Figures 3/4/7/8, in presentation order, as their
+/// canonical (parameter-free) specs.
+const std::vector<MethodSpec>& paper_methods();
 
-std::string method_name(Method m);
-bool is_llm_method(Method m);
+/// Presentation label (`FCFS`, `OR-Tools*`, `Claude 3.7?window=arrival:32`).
+/// Identical to the pre-registry labels for every canonical spec, which
+/// keeps `cell_seed` derivations - and therefore all recorded results -
+/// bit-identical across the redesign.
+std::string method_name(const MethodSpec& spec);
 
-/// Instantiate a fresh scheduler for one run. `seed` feeds every stochastic
-/// component (SA restarts, decision noise, latency sampling).
-std::unique_ptr<sim::Scheduler> make_scheduler(Method m, std::uint64_t seed);
+/// Does the method drive an LLM client (overhead accounting applies)?
+bool is_llm_method(const MethodSpec& spec);
+
+/// Instantiate a fresh scheduler for one run via the registry. `seed` feeds
+/// every stochastic component (SA restarts, decision noise, latency
+/// sampling). Throws MethodSpecError for unknown names or bad parameters.
+std::unique_ptr<sim::Scheduler> make_scheduler(const MethodSpec& spec, std::uint64_t seed);
 
 }  // namespace reasched::harness

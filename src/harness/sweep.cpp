@@ -1,6 +1,7 @@
 #include "harness/sweep.hpp"
 
 #include <mutex>
+#include <set>
 #include <tuple>
 
 #include "util/thread_pool.hpp"
@@ -56,12 +57,17 @@ void sweep_cells(const SweepConfig& config, Consume&& consume) {
              std::tie(o.scenario, o.n_jobs, o.repetition);
     }
   };
+  // Dedup the method axis by value: the same spec listed twice (e.g. the
+  // enum shim and its string form assembled from different sources) is one
+  // method, not two identical cells fighting over one result key.
+  const std::vector<MethodSpec> methods = dedup_methods(config.methods);
+
   std::map<WorkloadKey, std::size_t> workload_index;
   std::vector<WorkloadKey> workload_keys;
   std::vector<Cell> cells;
   for (const auto scenario : config.scenarios) {
     for (const auto n : config.job_counts) {
-      for (const auto method : config.methods) {
+      for (const auto& method : methods) {
         for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
           cells.push_back(Cell{scenario, n, method, rep});
           const WorkloadKey key{scenario, n, rep};

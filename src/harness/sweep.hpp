@@ -10,11 +10,13 @@
 
 namespace reasched::harness {
 
-/// One cell of an experiment grid.
+/// One cell of an experiment grid. The method axis is a `MethodSpec`, so
+/// windowed/budgeted/profiled variants of one scheduler family are distinct
+/// cells like any other axis value (enum values still convert implicitly).
 struct Cell {
   workload::Scenario scenario = workload::Scenario::kHeterogeneousMix;
   std::size_t n_jobs = 60;
-  Method method = Method::kFcfs;
+  MethodSpec method = Method::kFcfs;
   std::size_t repetition = 0;
 };
 
@@ -23,7 +25,9 @@ bool operator<(const Cell& a, const Cell& b);
 struct SweepConfig {
   std::vector<workload::Scenario> scenarios;
   std::vector<std::size_t> job_counts;
-  std::vector<Method> methods;
+  /// Method axis as specs; duplicates (same canonical spec) run once, so a
+  /// panel assembled from several sources need not dedup by hand.
+  std::vector<MethodSpec> methods;
   std::size_t repetitions = 1;
   workload::ArrivalMode arrival_mode = workload::ArrivalMode::kPoisson;
   std::uint64_t base_seed = 42;
@@ -61,7 +65,7 @@ std::uint64_t cell_seed(const SweepConfig& config, const Cell& cell);
 struct GroupKey {
   workload::Scenario scenario;
   std::size_t n_jobs;
-  Method method;
+  MethodSpec method;
 };
 bool operator<(const GroupKey& a, const GroupKey& b);
 

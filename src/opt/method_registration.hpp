@@ -1,0 +1,16 @@
+#pragma once
+
+namespace reasched::harness {
+class MethodRegistry;
+}
+
+namespace reasched::opt {
+
+/// Register the optimization baseline with the harness method registry:
+/// `opt:portfolio` (the OR-Tools stand-in - B&B below `bnb_threshold`,
+/// seeded local search + simulated annealing above). Solver budgets, replan
+/// cadence and the planning window are spec parameters, so budget/window
+/// sweeps are ordinary grid axes.
+void register_methods(harness::MethodRegistry& registry);
+
+}  // namespace reasched::opt

@@ -1,0 +1,14 @@
+#pragma once
+
+namespace reasched::harness {
+class MethodRegistry;
+}
+
+namespace reasched::sched {
+
+/// Register the queue-policy baselines with the harness method registry:
+/// `fcfs`, `sjf` and `easy` (EASY backfilling). None takes parameters - the
+/// policies are deterministic and configuration-free.
+void register_methods(harness::MethodRegistry& registry);
+
+}  // namespace reasched::sched

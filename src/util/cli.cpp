@@ -11,13 +11,19 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
     if (arg.rfind("--", 0) == 0) {
       const std::string body = arg.substr(2);
       const auto eq = body.find('=');
+      std::string name, value;
       if (eq != std::string::npos) {
-        named_[body.substr(0, eq)] = body.substr(eq + 1);
+        name = body.substr(0, eq);
+        value = body.substr(eq + 1);
       } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-        named_[body] = argv[++i];
+        name = body;
+        value = argv[++i];
       } else {
-        named_[body] = "true";
+        name = body;
+        value = "true";
       }
+      named_[name] = value;  // single-value getters: last occurrence wins
+      ordered_.emplace_back(std::move(name), std::move(value));
     } else {
       positional_.push_back(arg);
     }
@@ -25,6 +31,14 @@ CliArgs::CliArgs(int argc, const char* const* argv) {
 }
 
 bool CliArgs::has(const std::string& name) const { return named_.count(name) != 0; }
+
+std::vector<std::string> CliArgs::get_all(const std::string& name) const {
+  std::vector<std::string> out;
+  for (const auto& [key, value] : ordered_) {
+    if (key == name) out.push_back(value);
+  }
+  return out;
+}
 
 std::string CliArgs::get(const std::string& name, const std::string& fallback) const {
   const auto it = named_.find(name);

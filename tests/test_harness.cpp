@@ -13,13 +13,19 @@ TEST(Methods, NamesAndFactory) {
     const auto scheduler = rh::make_scheduler(m, 1);
     ASSERT_NE(scheduler, nullptr);
     EXPECT_EQ(scheduler->name(), rh::method_name(m));
+    // The enum shim maps onto the registry: the canonical spec string parses
+    // back to the same method and builds the same scheduler type.
+    const rh::MethodSpec spec(m);
+    const auto via_spec = rh::make_scheduler(rh::MethodSpec::parse(spec.to_string()), 1);
+    EXPECT_EQ(via_spec->name(), scheduler->name());
   }
 }
 
 TEST(Methods, PaperSetIsFiveInOrder) {
   const auto& methods = rh::paper_methods();
   ASSERT_EQ(methods.size(), 5u);
-  EXPECT_EQ(methods.front(), rh::Method::kFcfs);
+  EXPECT_EQ(methods.front(), rh::MethodSpec(rh::Method::kFcfs));
+  EXPECT_EQ(methods.front().name, "fcfs");
   EXPECT_EQ(rh::method_name(methods[2]), "OR-Tools*");
   EXPECT_TRUE(rh::is_llm_method(methods[3]));
   EXPECT_TRUE(rh::is_llm_method(methods[4]));
@@ -74,6 +80,18 @@ TEST(Sweep, DeterministicAndPaired) {
     differs = jobs_a[i].duration != jobs_rep1[i].duration;
   }
   EXPECT_TRUE(differs);
+}
+
+TEST(Sweep, DuplicateMethodSpecsRunOnce) {
+  rh::SweepConfig config;
+  config.scenarios = {rw::Scenario::kHomogeneousShort};
+  config.job_counts = {8};
+  // The enum shim and its string form are the same method - one cell, not
+  // two identical cells fighting over one result key.
+  config.methods = {rh::Method::kFcfs, "fcfs", rh::MethodSpec("fcfs"), rh::Method::kSjf};
+  config.threads = 1;
+  const auto results = rh::run_sweep(config);
+  EXPECT_EQ(results.size(), 2u);  // fcfs + sjf
 }
 
 TEST(Sweep, CellSeedVariesByMethodAndRep) {

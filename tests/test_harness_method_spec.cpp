@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "harness/export.hpp"
+#include "harness/method_spec.hpp"
+#include "harness/sweep.hpp"
+#include "workload/generator.hpp"
+
+namespace rh = reasched::harness;
+namespace rw = reasched::workload;
+namespace rs = reasched::sim;
+
+namespace {
+
+/// Message-content helper: the error must mention every given fragment.
+template <typename Fn>
+void expect_spec_error(Fn&& fn, const std::vector<std::string>& fragments) {
+  try {
+    fn();
+    FAIL() << "expected MethodSpecError";
+  } catch (const rh::MethodSpecError& e) {
+    const std::string what = e.what();
+    for (const auto& fragment : fragments) {
+      EXPECT_NE(what.find(fragment), std::string::npos)
+          << "error message '" << what << "' should mention '" << fragment << "'";
+    }
+  }
+}
+
+}  // namespace
+
+TEST(MethodSpec, ParseBareName) {
+  const auto spec = rh::MethodSpec::parse("fcfs");
+  EXPECT_EQ(spec.name, "fcfs");
+  EXPECT_TRUE(spec.params.empty());
+  EXPECT_EQ(spec.to_string(), "fcfs");
+}
+
+TEST(MethodSpec, ParseParamsAndRoundTrip) {
+  const auto spec = rh::MethodSpec::parse("opt:portfolio?window=sjf:64&budget=2000");
+  EXPECT_EQ(spec.name, "opt:portfolio");
+  ASSERT_EQ(spec.params.size(), 2u);
+  EXPECT_EQ(spec.params.at("budget"), "2000");
+  EXPECT_EQ(spec.params.at("window"), "sjf:64");
+  // Canonical form sorts keys; parse(to_string()) is the identity.
+  EXPECT_EQ(spec.to_string(), "opt:portfolio?budget=2000&window=sjf:64");
+  EXPECT_EQ(rh::MethodSpec::parse(spec.to_string()), spec);
+}
+
+TEST(MethodSpec, RoundTripEveryCanonicalMethod) {
+  for (const auto m :
+       {rh::Method::kFcfs, rh::Method::kSjf, rh::Method::kOrTools, rh::Method::kClaude37,
+        rh::Method::kO4Mini, rh::Method::kEasyBackfill, rh::Method::kFastLocal}) {
+    const rh::MethodSpec spec(m);
+    EXPECT_EQ(rh::MethodSpec::parse(spec.to_string()), spec);
+  }
+}
+
+TEST(MethodSpec, TrimsWhitespace) {
+  EXPECT_EQ(rh::MethodSpec::parse("  fcfs \n").to_string(), "fcfs");
+}
+
+TEST(MethodSpec, GrammarErrors) {
+  expect_spec_error([] { rh::MethodSpec::parse(""); }, {"empty"});
+  expect_spec_error([] { rh::MethodSpec::parse("?budget=1"); }, {"no name"});
+  expect_spec_error([] { rh::MethodSpec::parse("FCFS"); }, {"FCFS", "invalid character"});
+  expect_spec_error([] { rh::MethodSpec::parse("fcfs?"); }, {"no parameters"});
+  expect_spec_error([] { rh::MethodSpec::parse("fcfs?budget"); }, {"budget", "key=value"});
+  expect_spec_error([] { rh::MethodSpec::parse("fcfs?=3"); }, {"key=value"});
+  expect_spec_error([] { rh::MethodSpec::parse("fcfs?budget="); }, {"key=value"});
+  expect_spec_error([] { rh::MethodSpec::parse("opt:portfolio?budget=1&budget=2"); },
+                    {"duplicate", "budget"});
+  expect_spec_error([] { rh::MethodSpec::parse("fcfs?bad-key=1"); },
+                    {"bad-key", "invalid character"});
+}
+
+TEST(MethodSpec, ImplicitStringConversionParses) {
+  const rh::MethodSpec spec = "agent:claude37?window=arrival:32";
+  EXPECT_EQ(spec.name, "agent:claude37");
+  EXPECT_EQ(spec.params.at("window"), "arrival:32");
+  EXPECT_THROW(rh::MethodSpec{"not a spec"}, rh::MethodSpecError);
+}
+
+TEST(MethodSpec, OrderingIsValueBased) {
+  const rh::MethodSpec plain("opt:portfolio");
+  const rh::MethodSpec windowed("opt:portfolio?window=sjf:64");
+  EXPECT_NE(plain, windowed);
+  EXPECT_TRUE(plain < windowed || windowed < plain);
+  EXPECT_EQ(plain, rh::MethodSpec(rh::Method::kOrTools));
+}
+
+TEST(MethodRegistry, ListsAllBuiltinMethods) {
+  const auto names = rh::MethodRegistry::instance().names();
+  for (const char* expected : {"fcfs", "sjf", "easy", "opt:portfolio", "agent:claude37",
+                               "agent:o4mini", "agent:fastlocal"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << "registry should list " << expected;
+  }
+  const std::string listing = rh::MethodRegistry::instance().describe();
+  for (const char* fragment : {"opt:portfolio", "budget", "window", "scratchpad", "auto"}) {
+    EXPECT_NE(listing.find(fragment), std::string::npos)
+        << "--list-methods output should mention " << fragment;
+  }
+}
+
+TEST(MethodRegistry, UnknownNameRejectedWithRegisteredList) {
+  expect_spec_error([] { rh::make_scheduler(rh::MethodSpec("nosuch"), 1); },
+                    {"unknown method 'nosuch'", "registered methods", "fcfs"});
+}
+
+TEST(MethodRegistry, UnknownKeyRejectedWithAcceptedList) {
+  expect_spec_error(
+      [] { rh::make_scheduler(rh::MethodSpec("opt:portfolio?bogus=1"), 1); },
+      {"opt:portfolio", "does not accept parameter 'bogus'", "accepted parameters", "budget"});
+  // Baselines accept no parameters at all.
+  expect_spec_error([] { rh::make_scheduler(rh::MethodSpec("fcfs?window=arrival:8"), 1); },
+                    {"fcfs", "does not accept parameter 'window'", "(none)"});
+}
+
+TEST(MethodRegistry, IllTypedValuesRejected) {
+  expect_spec_error([] { rh::make_scheduler(rh::MethodSpec("opt:portfolio?budget=soon"), 1); },
+                    {"budget", "integer", "soon"});
+  expect_spec_error(
+      [] { rh::make_scheduler(rh::MethodSpec("agent:claude37?scratchpad=maybe"), 1); },
+      {"scratchpad", "boolean", "maybe"});
+  // Out-of-int-range budgets must error, not wrap into a negative config.
+  expect_spec_error(
+      [] {
+        rh::make_scheduler(rh::MethodSpec("agent:claude37?scratchpad_budget=6442450944"), 1);
+      },
+      {"scratchpad_budget", "must be in"});
+  expect_spec_error(
+      [] { rh::make_scheduler(rh::MethodSpec("agent:claude37?window=widest:8"), 1); },
+      {"window", "widest", "arrival"});
+  expect_spec_error(
+      [] { rh::make_scheduler(rh::MethodSpec("agent:claude37?window=arrival:-3"), 1); },
+      {"window", "non-negative"});
+}
+
+TEST(MethodRegistry, WindowGrammar) {
+  // All four accepted forms build; `auto` expands to the documented
+  // trace-scale default rather than unbounded.
+  for (const char* spec :
+       {"agent:claude37?window=8", "agent:claude37?window=arrival:8",
+        "agent:claude37?window=sjf:8", "agent:claude37?window=auto",
+        "opt:portfolio?window=auto", "agent:claude37?window=0"}) {
+    EXPECT_NE(rh::make_scheduler(rh::MethodSpec(spec), 1), nullptr) << spec;
+  }
+}
+
+TEST(MethodSpec, LabelsDistinguishVariants) {
+  EXPECT_EQ(rh::method_name(rh::MethodSpec("agent:claude37")), "Claude 3.7");
+  EXPECT_EQ(rh::method_name(rh::MethodSpec("agent:claude37?window=arrival:32")),
+            "Claude 3.7?window=arrival:32");
+  EXPECT_EQ(rh::method_name(rh::MethodSpec("opt:portfolio?budget=500&window=sjf:16")),
+            "OR-Tools*?budget=500&window=sjf:16");
+  EXPECT_TRUE(rh::is_llm_method(rh::MethodSpec("agent:fastlocal?window=auto")));
+  EXPECT_FALSE(rh::is_llm_method(rh::MethodSpec("opt:portfolio?window=auto")));
+}
+
+TEST(MethodSpec, RunMethodAcceptsSpecLiterals) {
+  const auto jobs = rw::make_generator(rw::Scenario::kHomogeneousShort)->generate(8, 5);
+  const auto outcome = rh::run_method(jobs, "agent:claude37?window=arrival:4", 5);
+  EXPECT_EQ(outcome.schedule.completed.size(), 8u);
+  ASSERT_TRUE(outcome.overhead.has_value());
+
+  // run_to_json mirrors run_method's literal handling: a registered spec
+  // literal exports through the spec path (method_spec present), a display
+  // label stays a plain label.
+  const std::string as_spec = rh::run_to_json(outcome, "agent:claude37?window=arrival:4");
+  EXPECT_NE(as_spec.find("\"method_spec\":\"agent:claude37?window=arrival:4\""),
+            std::string::npos);
+  // ... and identically when the spec arrives as a runtime std::string
+  // (CLI values, config files), not just a literal.
+  EXPECT_EQ(rh::run_to_json(outcome, std::string("agent:claude37?window=arrival:4")), as_spec);
+  const std::string as_label = rh::run_to_json(outcome, "Claude 3.7");
+  EXPECT_EQ(as_label.find("\"method_spec\""), std::string::npos);
+  EXPECT_NE(as_label.find("\"method\":\"Claude 3.7\""), std::string::npos);
+}
+
+// Acceptance: a run_sweep over >= 3 windowed spec variants of one optimizer
+// and one agent rides through grid, aggregation and export with no enum
+// involvement anywhere.
+TEST(MethodSpec, WindowedVariantsSweepThroughGridAndExport) {
+  rh::SweepConfig config;
+  config.scenarios = {rw::Scenario::kHeterogeneousMix};
+  config.job_counts = {14};
+  config.methods = {"opt:portfolio?budget=60&ls_evals=60&window=sjf:4",
+                    "opt:portfolio?budget=60&ls_evals=60&window=sjf:8",
+                    "opt:portfolio?budget=60&ls_evals=60&window=arrival:4",
+                    "agent:claude37?window=arrival:4", "agent:claude37?window=arrival:8",
+                    "agent:claude37?window=sjf:4"};
+  config.repetitions = 1;
+  config.base_seed = 11;
+  config.threads = 2;
+
+  const auto results = rh::run_sweep(config);
+  ASSERT_EQ(results.size(), config.methods.size());
+
+  const auto groups = rh::aggregate_sweep(results);
+  EXPECT_EQ(groups.size(), config.methods.size());
+
+  for (const auto& method : config.methods) {
+    const rh::Cell cell{rw::Scenario::kHeterogeneousMix, 14, method, 0};
+    const auto it = results.find(cell);
+    ASSERT_NE(it, results.end()) << method.to_string();
+    EXPECT_EQ(it->second.schedule.completed.size(), 14u) << method.to_string();
+
+    // Spec-keyed export: the JSON bundle records both the presentation label
+    // and the canonical spec, so the variant is reconstructible.
+    const std::string json = rh::run_to_json(it->second, method);
+    EXPECT_NE(json.find("\"method_spec\":\"" + method.to_string() + "\""), std::string::npos)
+        << json.substr(0, 200);
+    EXPECT_NE(json.find(rh::method_name(method)), std::string::npos);
+  }
+
+  // The variants are genuinely different methods: distinct seeds via labels.
+  const rh::Cell narrow{rw::Scenario::kHeterogeneousMix, 14, config.methods[0], 0};
+  const rh::Cell wide{rw::Scenario::kHeterogeneousMix, 14, config.methods[1], 0};
+  EXPECT_NE(rh::cell_seed(config, narrow), rh::cell_seed(config, wide));
+}
+
+TEST(MethodSpec, WindowUnboundedEqualsCanonicalSpec) {
+  // window=0 (explicit unbounded) decides identically to the parameter-free
+  // canonical spec - top_k = 0 is the paper semantics either way.
+  const auto jobs = rw::make_generator(rw::Scenario::kResourceSparse)->generate(12, 9);
+  const auto base = rh::run_method(jobs, "agent:o4mini", 9);
+  const auto windowed = rh::run_method(jobs, "agent:o4mini?window=arrival:0", 9);
+  ASSERT_EQ(base.schedule.completed.size(), windowed.schedule.completed.size());
+  for (std::size_t i = 0; i < base.schedule.completed.size(); ++i) {
+    EXPECT_EQ(base.schedule.completed[i].job.id, windowed.schedule.completed[i].job.id);
+    EXPECT_DOUBLE_EQ(base.schedule.completed[i].start_time,
+                     windowed.schedule.completed[i].start_time);
+  }
+}

@@ -1,0 +1,178 @@
+// Behavior-preservation golden for the MethodSpec redesign: for every method
+// of the legacy enum, three construction paths must produce bit-identical
+// RunOutcomes (metrics, full schedule, decision trace, counters, overhead):
+//
+//   1. the enum shim        run_method(jobs, Method::kX, seed)
+//   2. the parsed spec      run_method(jobs, MethodSpec::parse("..."), seed)
+//   3. a direct-construction oracle replicating the pre-registry
+//      make_scheduler switch verbatim (FcfsScheduler{}, OptimizingScheduler
+//      with default config + seed, core::make_*_agent(seed)).
+//
+// Path 3 is the real guard: it pins the registered builders to the exact
+// defaults the enum era hard-coded, so a drifting registry default cannot
+// silently change recorded results.
+
+#include <gtest/gtest.h>
+
+#include "core/factory.hpp"
+#include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
+#include "metrics/metrics.hpp"
+#include "opt/optimizing_scheduler.hpp"
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/sjf.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace rh = reasched::harness;
+namespace rw = reasched::workload;
+namespace rm = reasched::metrics;
+using namespace reasched;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 1337;
+
+struct GoldenCase {
+  rh::Method method;
+  const char* canonical_spec;
+};
+
+const GoldenCase kCases[] = {
+    {rh::Method::kFcfs, "fcfs"},
+    {rh::Method::kSjf, "sjf"},
+    {rh::Method::kOrTools, "opt:portfolio"},
+    {rh::Method::kClaude37, "agent:claude37"},
+    {rh::Method::kO4Mini, "agent:o4mini"},
+    {rh::Method::kEasyBackfill, "easy"},
+    {rh::Method::kFastLocal, "agent:fastlocal"},
+};
+
+/// The pre-registry make_scheduler switch, preserved verbatim as the oracle.
+std::unique_ptr<sim::Scheduler> legacy_make_scheduler(rh::Method m, std::uint64_t seed) {
+  switch (m) {
+    case rh::Method::kFcfs: return std::make_unique<sched::FcfsScheduler>();
+    case rh::Method::kSjf: return std::make_unique<sched::SjfScheduler>();
+    case rh::Method::kEasyBackfill: return std::make_unique<sched::EasyBackfillScheduler>();
+    case rh::Method::kOrTools: {
+      opt::OptimizingSchedulerConfig config;
+      config.seed = seed;
+      return std::make_unique<opt::OptimizingScheduler>(config);
+    }
+    case rh::Method::kClaude37: return core::make_claude37_agent(seed);
+    case rh::Method::kO4Mini: return core::make_o4mini_agent(seed);
+    case rh::Method::kFastLocal: return core::make_fast_local_agent(seed);
+  }
+  throw std::invalid_argument("legacy_make_scheduler: unknown method");
+}
+
+void expect_identical_schedules(const sim::ScheduleResult& a, const sim::ScheduleResult& b,
+                                const std::string& label) {
+  ASSERT_EQ(a.completed.size(), b.completed.size()) << label;
+  for (std::size_t i = 0; i < a.completed.size(); ++i) {
+    EXPECT_EQ(a.completed[i].job.id, b.completed[i].job.id) << label << " job " << i;
+    EXPECT_EQ(a.completed[i].start_time, b.completed[i].start_time) << label << " job " << i;
+    EXPECT_EQ(a.completed[i].end_time, b.completed[i].end_time) << label << " job " << i;
+    EXPECT_EQ(a.completed[i].killed_at_walltime, b.completed[i].killed_at_walltime)
+        << label << " job " << i;
+  }
+  ASSERT_EQ(a.decisions.size(), b.decisions.size()) << label;
+  for (std::size_t i = 0; i < a.decisions.size(); ++i) {
+    EXPECT_EQ(a.decisions[i].time, b.decisions[i].time) << label << " decision " << i;
+    EXPECT_EQ(a.decisions[i].action.type, b.decisions[i].action.type)
+        << label << " decision " << i;
+    EXPECT_EQ(a.decisions[i].action.job_id, b.decisions[i].action.job_id)
+        << label << " decision " << i;
+    EXPECT_EQ(a.decisions[i].accepted, b.decisions[i].accepted) << label << " decision " << i;
+    EXPECT_EQ(a.decisions[i].thought, b.decisions[i].thought) << label << " decision " << i;
+    EXPECT_EQ(a.decisions[i].feedback, b.decisions[i].feedback) << label << " decision " << i;
+  }
+  EXPECT_EQ(a.final_time, b.final_time) << label;
+  EXPECT_EQ(a.n_decisions, b.n_decisions) << label;
+  EXPECT_EQ(a.n_invalid_actions, b.n_invalid_actions) << label;
+  EXPECT_EQ(a.n_forced_delays, b.n_forced_delays) << label;
+  EXPECT_EQ(a.n_backfills, b.n_backfills) << label;
+}
+
+void expect_identical_outcomes(const rh::RunOutcome& a, const rh::RunOutcome& b,
+                               const std::string& label) {
+  for (const auto metric : rm::all_metrics()) {
+    EXPECT_EQ(a.metrics.get(metric), b.metrics.get(metric))
+        << label << " metric " << rm::to_string(metric);
+  }
+  EXPECT_EQ(a.metrics.energy_kwh, b.metrics.energy_kwh) << label;
+  expect_identical_schedules(a.schedule, b.schedule, label);
+  ASSERT_EQ(a.overhead.has_value(), b.overhead.has_value()) << label;
+  if (a.overhead) {
+    EXPECT_EQ(a.overhead->n_calls, b.overhead->n_calls) << label;
+    EXPECT_EQ(a.overhead->n_successful, b.overhead->n_successful) << label;
+    EXPECT_EQ(a.overhead->total_elapsed_s, b.overhead->total_elapsed_s) << label;
+    EXPECT_EQ(a.overhead->latencies, b.overhead->latencies) << label;
+    EXPECT_EQ(a.overhead->prompt_tokens, b.overhead->prompt_tokens) << label;
+    EXPECT_EQ(a.overhead->completion_tokens, b.overhead->completion_tokens) << label;
+  }
+}
+
+}  // namespace
+
+TEST(MethodSpecGolden, EnumSpecAndLegacyConstructionBitIdentical) {
+  const auto jobs =
+      rw::make_generator(rw::Scenario::kHeterogeneousMix)->generate(24, kSeed);
+  const sim::EngineConfig engine_config;
+
+  for (const auto& test_case : kCases) {
+    const std::string label = test_case.canonical_spec;
+
+    // Enum shim vs parsed spec through the registry.
+    const auto via_enum = rh::run_method(jobs, test_case.method, kSeed, engine_config);
+    const auto via_spec =
+        rh::run_method(jobs, rh::MethodSpec::parse(test_case.canonical_spec), kSeed,
+                       engine_config);
+    expect_identical_outcomes(via_enum, via_spec, label + " (enum vs spec)");
+
+    // Registry path vs the pre-registry construction, run outside run_method.
+    const auto scheduler = legacy_make_scheduler(test_case.method, kSeed);
+    sim::Engine engine(engine_config);
+    rh::RunOutcome legacy;
+    legacy.schedule = engine.run(jobs, *scheduler);
+    legacy.metrics = rm::compute_metrics(legacy.schedule, engine_config.cluster);
+    for (const auto metric : rm::all_metrics()) {
+      EXPECT_EQ(via_spec.metrics.get(metric), legacy.metrics.get(metric))
+          << label << " (legacy) metric " << rm::to_string(metric);
+    }
+    expect_identical_schedules(via_spec.schedule, legacy.schedule, label + " (legacy)");
+  }
+}
+
+TEST(MethodSpecGolden, SweepCellsUnchangedByRedesign) {
+  // The spec-keyed sweep must reproduce the enum-keyed sweep bit-for-bit:
+  // labels (and therefore derived cell seeds), cell enumeration and results
+  // are unchanged for the canonical paper panel.
+  rh::SweepConfig config;
+  config.scenarios = {rw::Scenario::kResourceSparse};
+  config.job_counts = {12};
+  config.methods = rh::paper_methods();
+  config.repetitions = 2;
+  config.base_seed = 4242;
+  config.threads = 2;
+
+  const auto results = rh::run_sweep(config);
+  ASSERT_EQ(results.size(), 10u);  // 5 methods x 2 reps
+
+  for (const auto& [cell, outcome] : results) {
+    // Re-run the cell standalone from its derived seed: identical outcome.
+    const auto jobs = rh::cell_jobs(config, cell.scenario, cell.n_jobs, cell.repetition);
+    const auto standalone =
+        rh::run_method(jobs, cell.method, rh::cell_seed(config, cell), config.engine);
+    expect_identical_outcomes(outcome, standalone,
+                              rh::method_name(cell.method) + " standalone");
+  }
+
+  // Labels the seed derivation keys off are the pre-redesign strings.
+  EXPECT_EQ(rh::method_name(config.methods[0]), "FCFS");
+  EXPECT_EQ(rh::method_name(config.methods[1]), "SJF");
+  EXPECT_EQ(rh::method_name(config.methods[2]), "OR-Tools*");
+  EXPECT_EQ(rh::method_name(config.methods[3]), "Claude 3.7");
+  EXPECT_EQ(rh::method_name(config.methods[4]), "O4-Mini");
+}
