@@ -20,7 +20,7 @@
 #include "metrics/metrics.hpp"
 #include "sim/engine.hpp"
 #include "util/time_format.hpp"
-#include "workload/generator.hpp"
+#include "workload/scenario_spec.hpp"
 
 using namespace reasched;
 
@@ -36,8 +36,7 @@ int main() {
   bench::print_header("Ablation - agent components (O4 profile, HetMix, 60 jobs)",
                       "scratchpad memory and constraint feedback on/off");
 
-  const auto jobs = workload::make_generator(workload::Scenario::kHeterogeneousMix)
-                        ->generate(60, 616);
+  const auto jobs = workload::generate_scenario("hetero_mix", 60, 616);
 
   const Variant variants[] = {
       {"full agent", true, true},

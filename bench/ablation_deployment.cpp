@@ -13,7 +13,7 @@
 #include "bench_common.hpp"
 #include "harness/experiment.hpp"
 #include "util/time_format.hpp"
-#include "workload/generator.hpp"
+#include "workload/scenario_spec.hpp"
 
 using namespace reasched;
 
@@ -21,8 +21,8 @@ int main() {
   bench::print_header("Ablation - deployment profiles (Heterogeneous Mix)",
                       "cloud Claude 3.7 / cloud O4-Mini / on-prem Fast-Local");
 
-  const std::vector<harness::Method> models = {
-      harness::Method::kClaude37, harness::Method::kO4Mini, harness::Method::kFastLocal};
+  const std::vector<harness::MethodSpec> models = {"agent:claude37", "agent:o4mini",
+                                                   "agent:fastlocal"};
 
   util::TextTable table({"Jobs", "Model", "Elapsed", "s/job", "Makespan", "Avg wait",
                          "Wait fairness"});
@@ -30,9 +30,8 @@ int main() {
                       "avg_wait", "wait_fairness"});
 
   for (const std::size_t n : {20u, 60u, 100u}) {
-    const auto jobs = workload::make_generator(workload::Scenario::kHeterogeneousMix)
-                          ->generate(n, 3141);
-    for (const auto model : models) {
+    const auto jobs = workload::generate_scenario("hetero_mix", n, 3141);
+    for (const auto& model : models) {
       const auto outcome = harness::run_method(jobs, model, 3141);
       const auto& o = outcome.overhead.value();
       const double per_job = o.n_successful > 0

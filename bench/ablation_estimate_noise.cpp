@@ -15,7 +15,7 @@
 
 #include "bench_common.hpp"
 #include "harness/experiment.hpp"
-#include "workload/generator.hpp"
+#include "workload/scenario_spec.hpp"
 
 using namespace reasched;
 
@@ -23,9 +23,8 @@ int main() {
   bench::print_header("Ablation - walltime-estimate noise (Heterogeneous Mix, 60 jobs)",
                       "walltime = runtime x U(1, f); schedulers see walltime only");
 
-  const std::vector<harness::Method> methods = {
-      harness::Method::kFcfs, harness::Method::kSjf, harness::Method::kEasyBackfill,
-      harness::Method::kOrTools, harness::Method::kClaude37};
+  const std::vector<harness::MethodSpec> methods = {"fcfs", "sjf", "easy", "opt:portfolio",
+                                                    "agent:claude37"};
 
   util::TextTable table({"f (over-request)", "Method", "Avg wait", "Makespan",
                          "Node util", "Backfills"});
@@ -33,12 +32,13 @@ int main() {
                       "backfills"});
 
   for (const double factor : {1.0, 1.5, 3.0, 6.0}) {
-    workload::GenerateOptions options;
-    options.walltime_factor_min = 1.0;
-    options.walltime_factor_max = factor;
-    const auto jobs = workload::make_generator(workload::Scenario::kHeterogeneousMix)
-                          ->generate(60, 8088, options);
-    for (const auto method : methods) {
+    // The noise knob is an ordinary scenario-spec parameter now - the same
+    // string works as a sweep axis value or on compare_schedulers
+    // --scenario. The base draws are noise-invariant (paired comparison).
+    const workload::ScenarioSpec scenario(
+        util::format("hetero_mix?walltime_noise=1.0:%.1f", factor));
+    const auto jobs = workload::generate_scenario(scenario, 60, 8088);
+    for (const auto& method : methods) {
       const auto outcome = harness::run_method(jobs, method, 8088);
       table.add_row({util::TextTable::num(factor, 1), harness::method_name(method),
                      util::TextTable::num(outcome.metrics.avg_wait, 1),

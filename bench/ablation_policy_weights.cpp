@@ -15,7 +15,7 @@
 #include "metrics/metrics.hpp"
 #include "opt/optimizing_scheduler.hpp"
 #include "sim/engine.hpp"
-#include "workload/generator.hpp"
+#include "workload/scenario_spec.hpp"
 
 using namespace reasched;
 
@@ -23,8 +23,7 @@ int main() {
   bench::print_header("Ablation - objective weights",
                       "A: LLM fairness-weight sweep; B: OR wait-term sweep");
 
-  const auto jobs = workload::make_generator(workload::Scenario::kLongJobDominant)
-                        ->generate(60, 2718);
+  const auto jobs = workload::generate_scenario("long_job", 60, 2718);
   sim::Engine engine;
 
   std::printf("A) LLM temperament: fairness weight sweep (Long-Job Dominant, 60 jobs)\n");

@@ -17,7 +17,7 @@
 #include "opt/local_search.hpp"
 #include "opt/particle_swarm.hpp"
 #include "opt/simulated_annealing.hpp"
-#include "workload/generator.hpp"
+#include "workload/scenario_spec.hpp"
 
 using namespace reasched;
 
@@ -32,8 +32,9 @@ int main() {
     opt::Problem p;
     p.total_nodes = 256;
     p.total_memory_gb = 2048;
-    p.jobs = workload::make_generator(workload::Scenario::kHeterogeneousMix)
-                 ->generate(n, 1618, workload::ArrivalMode::kStatic);
+    workload::GenerateOptions static_arrivals;
+    static_arrivals.arrival_mode = workload::ArrivalMode::kStatic;
+    p.jobs = workload::generate_scenario("hetero_mix", n, 1618, static_arrivals);
     const opt::ObjectiveWeights w;
     const auto seed_order = opt::order_by_arrival(p);
     const double seed_score = opt::evaluate(opt::decode_order(p, seed_order), w);

@@ -14,7 +14,7 @@
 #include "bench_common.hpp"
 #include "harness/experiment.hpp"
 #include "sim/topology.hpp"
-#include "workload/generator.hpp"
+#include "workload/scenario_spec.hpp"
 
 using namespace reasched;
 
@@ -22,8 +22,7 @@ int main() {
   bench::print_header("Ablation - topology-aware placement (HetMix, 60 jobs)",
                       "post-hoc node placement replay, 8 racks x 32 nodes");
 
-  const auto jobs =
-      workload::make_generator(workload::Scenario::kHeterogeneousMix)->generate(60, 5151);
+  const auto jobs = workload::generate_scenario("hetero_mix", 60, 5151);
   const sim::TopologySpec spec;
 
   util::TextTable table({"Method", "Strategy", "Mean racks/job", "Single-rack %",

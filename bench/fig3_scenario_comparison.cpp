@@ -21,7 +21,10 @@ int main() {
                       "six scenarios x five methods, Poisson arrivals, 2 repetitions");
 
   harness::SweepConfig config;
-  config.scenarios = workload::figure3_scenarios();
+  // The figure-3 panel as spec strings - same cells and seeds as the enum
+  // list it replaces (canonical specs label as the legacy display names).
+  config.scenarios = {"homog_short", "long_job", "high_parallel",
+                      "resource_sparse", "bursty_idle", "adversarial"};
   config.job_counts = {60};
   config.methods = harness::paper_methods();
   config.repetitions = 2;
@@ -31,21 +34,21 @@ int main() {
   const auto groups = harness::aggregate_sweep(results);
 
   util::CsvTable csv({"scenario", "method", "metric", "value", "normalized", "defined"});
-  for (const auto scenario : config.scenarios) {
+  for (const auto& scenario : config.scenarios) {
     std::vector<metrics::MethodResult> rows;
     for (const auto method : config.methods) {
       const auto& agg = groups.at({scenario, 60, method});
       rows.push_back({harness::method_name(method), agg.mean_set()});
     }
-    std::printf("--- %s ---\n%s\n", workload::to_string(scenario).c_str(),
-                workload::describe(scenario).c_str());
+    std::printf("--- %s ---\n%s\n", workload::scenario_label(scenario).c_str(),
+                workload::ScenarioRegistry::instance().at(scenario.base.name).doc.c_str());
     std::printf("%s\n", metrics::render_normalized_table(rows, "FCFS").c_str());
 
     const auto& baseline = rows.front().metrics;
     for (const auto& row : rows) {
       for (const auto metric : metrics::all_metrics()) {
         const auto n = metrics::normalize(row.metrics, baseline, metric);
-        csv.add_row({workload::to_string(scenario), row.method,
+        csv.add_row({workload::scenario_label(scenario), row.method,
                      metrics::to_string(metric),
                      util::format("%.6f", row.metrics.get(metric)),
                      util::format("%.6f", n.value), n.defined ? "1" : "0"});

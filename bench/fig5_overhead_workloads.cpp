@@ -17,7 +17,7 @@
 #include "harness/experiment.hpp"
 #include "util/csv.hpp"
 #include "util/time_format.hpp"
-#include "workload/generator.hpp"
+#include "workload/scenario_spec.hpp"
 
 using namespace reasched;
 
@@ -26,10 +26,12 @@ int main() {
       "Figure 5 - overhead per workload (60 jobs, successful calls only)",
       "simulated API latencies; elapsed = sum of successful-call latencies");
 
-  std::vector<workload::Scenario> scenarios = workload::figure3_scenarios();
-  scenarios.push_back(workload::Scenario::kHeterogeneousMix);
-  const std::vector<harness::Method> models = {harness::Method::kClaude37,
-                                               harness::Method::kO4Mini};
+  // Panels assembled from spec strings (same cells as the enum lists they
+  // replace); a parameterized variant is now a one-line edit here.
+  const std::vector<workload::ScenarioSpec> scenarios = {
+      "homog_short", "long_job",   "high_parallel", "resource_sparse",
+      "bursty_idle", "adversarial", "hetero_mix"};
+  const std::vector<harness::MethodSpec> models = {"agent:claude37", "agent:o4mini"};
 
   util::TextTable table({"Scenario", "Model", "Elapsed", "Calls", "Placed", "Mean s",
                          "Median s", "p95 s", "Max s", "Outliers"});
@@ -37,15 +39,15 @@ int main() {
                       "latency_mean_s", "latency_median_s", "latency_p95_s",
                       "latency_max_s"});
 
-  std::map<workload::Scenario, std::map<harness::Method, double>> elapsed;
-  for (const auto scenario : scenarios) {
-    const auto jobs = workload::make_generator(scenario)->generate(60, 7331);
-    for (const auto model : models) {
+  std::map<workload::ScenarioSpec, std::map<harness::MethodSpec, double>> elapsed;
+  for (const auto& scenario : scenarios) {
+    const auto jobs = workload::generate_scenario(scenario, 60, 7331);
+    for (const auto& model : models) {
       const auto outcome = harness::run_method(jobs, model, 7331);
       const auto& o = outcome.overhead.value();
       elapsed[scenario][model] = o.total_elapsed_s;
 
-      std::vector<std::string> cells = {workload::to_string(scenario),
+      std::vector<std::string> cells = {workload::scenario_label(scenario),
                                         harness::method_name(model),
                                         util::format_duration(o.total_elapsed_s),
                                         std::to_string(o.n_calls),
@@ -54,7 +56,7 @@ int main() {
       table.add_row(std::move(cells));
 
       const auto box = util::box_stats(o.latencies);
-      csv.add_row({workload::to_string(scenario), harness::method_name(model),
+      csv.add_row({workload::scenario_label(scenario), harness::method_name(model),
                    util::format("%.3f", o.total_elapsed_s), std::to_string(o.n_calls),
                    std::to_string(o.n_successful),
                    util::format("%.3f", util::mean(o.latencies)),
@@ -68,10 +70,10 @@ int main() {
 
   // Headline ratio: Claude vs O4 elapsed per scenario.
   util::TextTable speed({"Scenario", "O4/Claude elapsed ratio"});
-  for (const auto scenario : scenarios) {
-    const double claude = elapsed[scenario][harness::Method::kClaude37];
-    const double o4 = elapsed[scenario][harness::Method::kO4Mini];
-    speed.add_row({workload::to_string(scenario),
+  for (const auto& scenario : scenarios) {
+    const double claude = elapsed[scenario][models[0]];
+    const double o4 = elapsed[scenario][models[1]];
+    speed.add_row({workload::scenario_label(scenario),
                    claude > 0 ? util::TextTable::ratio(o4 / claude) : "n/a"});
   }
   std::printf("%s\n", speed.render().c_str());

@@ -16,7 +16,7 @@
 #include "harness/experiment.hpp"
 #include "util/csv.hpp"
 #include "util/time_format.hpp"
-#include "workload/generator.hpp"
+#include "workload/scenario_spec.hpp"
 
 using namespace reasched;
 
@@ -24,18 +24,16 @@ int main() {
   bench::print_header("Figure 6 - overhead scaling (Heterogeneous Mix, 10..100 jobs)",
                       "successful StartJob/BackfillJob calls only");
 
-  const std::vector<harness::Method> models = {harness::Method::kClaude37,
-                                               harness::Method::kO4Mini};
+  const std::vector<harness::MethodSpec> models = {"agent:claude37", "agent:o4mini"};
   util::TextTable table({"Jobs", "Model", "Elapsed", "Calls", "Placed", "Mean s",
                          "Median s", "p95 s", "Max s", "Outliers"});
   util::CsvTable csv({"n_jobs", "model", "elapsed_s", "calls", "successful",
                       "latency_mean_s", "latency_p95_s", "latency_max_s"});
 
-  std::map<harness::Method, std::vector<double>> elapsed_series;
+  std::map<harness::MethodSpec, std::vector<double>> elapsed_series;
   for (const auto n : workload::paper_job_counts()) {
-    const auto jobs = workload::make_generator(workload::Scenario::kHeterogeneousMix)
-                          ->generate(n, 9229);
-    for (const auto model : models) {
+    const auto jobs = workload::generate_scenario("hetero_mix", n, 9229);
+    for (const auto& model : models) {
       const auto outcome = harness::run_method(jobs, model, 9229);
       const auto& o = outcome.overhead.value();
       elapsed_series[model].push_back(o.total_elapsed_s);
@@ -58,7 +56,7 @@ int main() {
   std::printf("%s\n", table.render().c_str());
 
   // Growth-shape check: elapsed(100)/elapsed(40) vs linear expectation 2.5x.
-  for (const auto model : models) {
+  for (const auto& model : models) {
     const auto& series = elapsed_series[model];
     const double growth = series[2] > 0 ? series.back() / series[2] : 0.0;
     std::printf("%s: elapsed grows %.1fx from 40 to 100 jobs (linear would be 2.5x)\n",

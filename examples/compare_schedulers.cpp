@@ -3,15 +3,19 @@
 // the sweep harness, so independent cells run concurrently across --threads
 // workers while results stay deterministic.
 //
-// The method panel defaults to the paper's five; any registered spec can be
-// swept instead via repeated --method flags, parameters included:
+// Both grid axes are spec-keyed: the method panel defaults to the paper's
+// five and any registered method spec can be swept via repeated --method
+// flags; the workload defaults to Heterogeneous Mix and any scenario spec -
+// parameterized bases, mix(...) combinations, piped transforms - can be
+// selected via --scenario:
 //
-//   ./examples/compare_schedulers [--scenario hetmix] [--jobs 60] [--seed 42]
+//   ./examples/compare_schedulers [--scenario SPEC] [--jobs 60] [--seed 42]
 //                                 [--threads 0] [--static] [--extensions] [--raw]
-//                                 [--method SPEC]... [--list-methods]
-//   ./examples/compare_schedulers --method fcfs \
-//       --method "opt:portfolio?budget=2000&window=sjf:64" \
-//       --method "agent:claude37?window=arrival:32"
+//                                 [--method SPEC]... [--list-methods] [--list-scenarios]
+//   ./examples/compare_schedulers --scenario "mix(long_job:0.2,resource_sparse:0.8)" \
+//       --method fcfs --method "opt:portfolio?budget=2000&window=sjf:64"
+//   ./examples/compare_schedulers \
+//       --scenario "hetero_mix?walltime_noise=1.0:3.0|dag?fanout=4&depth=3"
 
 #include <cstdio>
 #include <iostream>
@@ -21,6 +25,7 @@
 #include "metrics/report.hpp"
 #include "util/cli.hpp"
 #include "workload/generator.hpp"
+#include "workload/scenario_spec.hpp"
 
 using namespace reasched;
 
@@ -29,11 +34,14 @@ namespace {
 void print_usage(std::ostream& os, const char* argv0) {
   os << "Usage:\n"
      << "  " << argv0
-     << " [--scenario NAME] [--jobs N] [--seed N] [--threads N] [--method SPEC]... [flags]\n"
+     << " [--scenario SPEC] [--jobs N] [--seed N] [--threads N] [--method SPEC]... [flags]\n"
      << "\n"
      << "Options:\n"
-     << "  --scenario NAME    Workload scenario: homogeneous, hetmix, longjob, parallel,\n"
-     << "                     sparse, bursty, adversarial (default: hetmix)\n"
+     << "  --scenario SPEC    Workload scenario spec: a registered base with optional\n"
+     << "                     parameters (hetero_mix?walltime_noise=1.0:3.0), a weighted\n"
+     << "                     mix(spec:weight,...), and/or '|'-piped transforms\n"
+     << "                     (bursty_idle|stretch?load=1.5). Legacy aliases (hetmix,\n"
+     << "                     sparse, ...) still work. Default: hetero_mix\n"
      << "  --jobs N           Jobs to generate (default: 60)\n"
      << "  --seed N           Base seed for the sweep's per-cell seed derivation\n"
      << "                     (default: 42; numbers differ from pre-harness versions\n"
@@ -47,10 +55,20 @@ void print_usage(std::ostream& os, const char* argv0) {
      << "\n"
      << "Flags:\n"
      << "  --list-methods     Print every registered method with its parameters and exit\n"
+     << "  --list-scenarios   Print every registered scenario and transform and exit\n"
      << "  --static           All jobs submitted at t=0 instead of Poisson arrivals\n"
      << "  --extensions       Also run EASY backfilling and the fast local optimizer\n"
      << "  --raw              Print raw metric values next to normalized ones\n"
      << "  --help             Show this message\n";
+}
+
+/// Accepts both the legacy aliases (hetmix, sparse, ...) and full scenario
+/// specs, validated against the registry before any cell runs.
+workload::ScenarioSpec parse_scenario_arg(const std::string& arg) {
+  if (const auto legacy = workload::scenario_from_string(arg)) return *legacy;
+  const auto spec = workload::ScenarioSpec::parse(arg);
+  workload::ScenarioRegistry::instance().validate(spec);
+  return spec;
 }
 
 }  // namespace
@@ -66,12 +84,20 @@ int main(int argc, char** argv) {
                 harness::MethodRegistry::instance().describe().c_str());
     return 0;
   }
-  const auto scenario =
-      workload::scenario_from_string(args.get("scenario", "hetmix"))
-          .value_or(workload::Scenario::kHeterogeneousMix);
+  if (args.has("list-scenarios")) {
+    std::printf("%s", workload::ScenarioRegistry::instance().describe().c_str());
+    return 0;
+  }
   const auto n_jobs = static_cast<std::size_t>(args.get_int("jobs", 60));
 
   harness::SweepConfig config;
+  workload::ScenarioSpec scenario;
+  try {
+    scenario = parse_scenario_arg(args.get("scenario", "hetero_mix"));
+  } catch (const workload::ScenarioSpecError& e) {
+    std::fprintf(stderr, "error: %s\n(--list-scenarios prints the registry)\n", e.what());
+    return 1;
+  }
   config.scenarios = {scenario};
   config.job_counts = {n_jobs};
   const auto method_specs = args.get_all("method");
@@ -104,12 +130,25 @@ int main(int argc, char** argv) {
   const long long threads_arg = args.get_int("threads", 0);
   config.threads = threads_arg > 0 ? static_cast<std::size_t>(threads_arg) : 0;
 
-  const auto jobs = harness::cell_jobs(config, scenario, n_jobs, 0);
-  std::printf("Scenario: %s - %zu jobs, %s arrivals\n%s\n\n",
-              workload::to_string(scenario).c_str(), jobs.size(),
+  // Generate once up front, so ill-typed parameter *values* (validate()
+  // checks names/keys only; values are typed at generation) and unreadable
+  // trace paths fail here with the friendly error, not inside the sweep.
+  std::vector<sim::Job> jobs;
+  try {
+    jobs = harness::cell_jobs(config, scenario, n_jobs, 0);
+  } catch (const workload::ScenarioSpecError& e) {
+    std::fprintf(stderr, "error: %s\n(--list-scenarios prints the registry)\n", e.what());
+    return 1;
+  } catch (const std::runtime_error& e) {  // e.g. an unreadable swf/trace path
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  const auto* info = workload::ScenarioRegistry::instance().find(scenario.base.name);
+  std::printf("Scenario: %s - %zu jobs, %s arrivals\nspec: %s\n%s\n\n",
+              workload::scenario_label(scenario).c_str(), jobs.size(),
               config.arrival_mode == workload::ArrivalMode::kStatic ? "static (all at t=0)"
                                                                     : "Poisson",
-              workload::describe(scenario).c_str());
+              scenario.to_string().c_str(), info != nullptr ? info->doc.c_str() : "");
 
   const auto results = harness::run_sweep(config);
 

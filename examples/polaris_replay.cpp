@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
   std::vector<metrics::MethodResult> rows;
   if (args.has("via-sweep")) {
     harness::SweepConfig sweep;
-    sweep.scenarios = {workload::Scenario::kHeterogeneousMix};  // label only
+    sweep.scenarios = {"polaris"};  // label only: workload_source overrides generation
     sweep.job_counts = {jobs.size()};
     sweep.methods = harness::paper_methods();
     sweep.base_seed = seed;
@@ -63,9 +63,10 @@ int main(int argc, char** argv) {
     sweep.threads = static_cast<std::size_t>(args.get_int("threads", 0));
     // Every cell replays the identical preprocessed trace; the sweep's value
     // here is the method-parallel thread pool and the shared result plumbing.
-    sweep.workload_source = [&jobs](workload::Scenario, std::size_t, std::uint64_t) {
-      return jobs;
-    };
+    // (Without --trace, `--scenario polaris` on compare_schedulers reaches
+    // the same substrate through the scenario registry instead.)
+    sweep.workload_source = [&jobs](const workload::ScenarioSpec&, std::size_t,
+                                    std::uint64_t) { return jobs; };
     const auto results = harness::run_sweep(sweep);
     for (const auto& method : harness::paper_methods()) {  // presentation order
       const harness::Cell cell{sweep.scenarios[0], jobs.size(), method, 0};

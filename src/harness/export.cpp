@@ -47,11 +47,16 @@ util::CsvTable overhead_to_csv(const OverheadSummary& overhead,
 namespace {
 
 std::string run_to_json_impl(const RunOutcome& outcome, const std::string& method_name,
-                             const MethodSpec* spec) {
+                             const MethodSpec* spec,
+                             const workload::ScenarioSpec* scenario = nullptr) {
   util::JsonWriter w;
   w.begin_object();
   w.kv("method", method_name);
   if (spec != nullptr) w.kv("method_spec", spec->to_string());
+  if (scenario != nullptr) {
+    w.kv("scenario", workload::scenario_label(*scenario));
+    w.kv("scenario_spec", scenario->to_string());
+  }
 
   w.key("metrics").begin_object();
   for (const auto metric : metrics::all_metrics()) {
@@ -127,6 +132,11 @@ std::string run_to_json(const RunOutcome& outcome, const MethodSpec& method) {
 
 std::string run_to_json(const RunOutcome& outcome, const char* method_name_or_spec) {
   return run_to_json(outcome, std::string(method_name_or_spec));
+}
+
+std::string run_to_json(const RunOutcome& outcome, const MethodSpec& method,
+                        const workload::ScenarioSpec& scenario) {
+  return run_to_json_impl(outcome, method_name(method), &method, &scenario);
 }
 
 void save_run_json(const RunOutcome& outcome, const std::string& method_name,

@@ -4,6 +4,7 @@
 
 #include "harness/experiment.hpp"
 #include "util/csv.hpp"
+#include "workload/scenario_spec.hpp"
 
 namespace reasched::harness {
 
@@ -41,6 +42,14 @@ std::string run_to_json(const RunOutcome& outcome, const MethodSpec& method);
 /// Disambiguates string literals (both std::string and MethodSpec convert
 /// from const char*); same spec-or-label handling as the std::string form.
 std::string run_to_json(const RunOutcome& outcome, const char* method_name_or_spec);
+
+/// Cell-keyed variant: additionally labels the document with the scenario
+/// axis ("scenario" presentation label + canonical "scenario_spec"
+/// string), so a sweep cell - perturbed/mixed/piped workload variants
+/// included - stays losslessly reconstructible from its export. This is
+/// the natural `run_sweep_streaming` on_cell exporter.
+std::string run_to_json(const RunOutcome& outcome, const MethodSpec& method,
+                        const workload::ScenarioSpec& scenario);
 
 /// Convenience: write run_to_json to a file.
 void save_run_json(const RunOutcome& outcome, const std::string& method_name,

@@ -12,15 +12,6 @@ namespace reasched::harness {
 
 namespace {
 
-bool valid_name_char(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == ':' || c == '_' || c == '.' ||
-         c == '-';
-}
-
-bool valid_key_char(char c) {
-  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
-}
-
 std::string canonical_name(Method m) {
   switch (m) {
     case Method::kFcfs: return "fcfs";
@@ -46,61 +37,18 @@ MethodSpec::MethodSpec(std::string name_in, std::map<std::string, std::string> p
     : name(std::move(name_in)), params(std::move(params_in)) {}
 
 MethodSpec MethodSpec::parse(std::string_view spec) {
-  const std::string s = util::trim(spec);
-  if (s.empty()) throw MethodSpecError("method spec is empty");
-
-  MethodSpec out;
-  const auto q = s.find('?');
-  out.name = s.substr(0, q);
-  if (out.name.empty()) {
-    throw MethodSpecError("method spec '" + s + "' has no name before '?'");
+  // The stage grammar (name/key charsets, duplicate detection,
+  // percent-decoding of values) is shared with ScenarioSpec; only the error
+  // type is this layer's own.
+  try {
+    auto parsed = util::parse_spec_stage(spec, "method");
+    return MethodSpec(std::move(parsed.name), std::move(parsed.params));
+  } catch (const util::SpecGrammarError& e) {
+    throw MethodSpecError(e.what());
   }
-  for (const char c : out.name) {
-    if (!valid_name_char(c)) {
-      throw MethodSpecError("method name '" + out.name + "' contains invalid character '" +
-                            std::string(1, c) + "' (allowed: a-z 0-9 : _ . -)");
-    }
-  }
-  if (q == std::string::npos) return out;
-
-  const std::string param_str = s.substr(q + 1);
-  if (param_str.empty()) {
-    throw MethodSpecError("method spec '" + s + "' has '?' but no parameters");
-  }
-  for (const std::string& kv : util::split(param_str, '&')) {
-    const auto eq = kv.find('=');
-    if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size()) {
-      throw MethodSpecError("parameter '" + kv + "' in spec '" + s +
-                            "' is not of the form key=value");
-    }
-    const std::string key = kv.substr(0, eq);
-    for (const char c : key) {
-      if (!valid_key_char(c)) {
-        throw MethodSpecError("parameter key '" + key + "' in spec '" + s +
-                              "' contains invalid character '" + std::string(1, c) +
-                              "' (allowed: a-z 0-9 _)");
-      }
-    }
-    if (!out.params.emplace(key, kv.substr(eq + 1)).second) {
-      throw MethodSpecError("duplicate parameter '" + key + "' in spec '" + s + "'");
-    }
-  }
-  return out;
 }
 
-std::string MethodSpec::to_string() const {
-  if (params.empty()) return name;
-  std::string out = name;
-  char sep = '?';
-  for (const auto& [key, value] : params) {  // std::map: sorted, canonical
-    out += sep;
-    out += key;
-    out += '=';
-    out += value;
-    sep = '&';
-  }
-  return out;
-}
+std::string MethodSpec::to_string() const { return util::spec_stage_to_string(name, params); }
 
 const std::string* MethodSpec::find_param(const std::string& key) const {
   const auto it = params.find(key);
@@ -179,18 +127,27 @@ std::string window_to_string(const sim::PlanningWindow& window) {
 
 MethodRegistry& MethodRegistry::instance() {
   // Magic-static init is thread-safe; each layer's factories register their
-  // builders here exactly once, before the first lookup returns.
-  static MethodRegistry registry = [] {
-    MethodRegistry r;
-    sched::register_methods(r);
-    opt::register_methods(r);
-    core::register_methods(r);
-    return r;
+  // builders here exactly once, before the first lookup returns. (Two
+  // statics rather than a factory lambda: the registry holds an atomic
+  // freeze flag and is immovable.)
+  static MethodRegistry registry;
+  static const bool initialized = [] {
+    sched::register_methods(registry);
+    opt::register_methods(registry);
+    core::register_methods(registry);
+    return true;
   }();
+  (void)initialized;
   return registry;
 }
 
 void MethodRegistry::add(MethodInfo info) {
+  if (frozen()) {
+    throw std::logic_error(
+        "MethodRegistry: cannot add method '" + info.name +
+        "' after the registry froze (first lookup already happened; register at startup, "
+        "before any spec is resolved)");
+  }
   if (info.name.empty()) throw std::logic_error("MethodRegistry::add: empty method name");
   if (!info.build) {
     throw std::logic_error("MethodRegistry::add: method '" + info.name + "' has no builder");
@@ -202,6 +159,7 @@ void MethodRegistry::add(MethodInfo info) {
 }
 
 const MethodInfo* MethodRegistry::find(const std::string& name) const {
+  freeze();
   const auto it = methods_.find(name);
   return it == methods_.end() ? nullptr : &it->second;
 }
@@ -216,6 +174,7 @@ const MethodInfo& MethodRegistry::at(const std::string& name) const {
 }
 
 std::vector<std::string> MethodRegistry::names() const {
+  freeze();
   std::vector<std::string> out;
   out.reserve(methods_.size());
   for (const auto& [name, info] : methods_) out.push_back(name);
@@ -240,6 +199,7 @@ std::unique_ptr<sim::Scheduler> MethodRegistry::build(const MethodSpec& spec,
 }
 
 std::string MethodRegistry::describe() const {
+  freeze();
   std::string out;
   for (const auto& [name, info] : methods_) {
     out += util::format("%-18s %-14s %s\n", name.c_str(), info.display_label.c_str(),

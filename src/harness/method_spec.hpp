@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -12,6 +13,7 @@
 
 #include "sim/planning_window.hpp"
 #include "sim/scheduler.hpp"
+#include "util/spec_grammar.hpp"
 
 namespace reasched::harness {
 
@@ -45,6 +47,9 @@ class MethodSpecError : public std::invalid_argument {
 ///   spec   := name [ '?' key '=' value ( '&' key '=' value )* ]
 ///   name   := [a-z0-9_.:-]+        e.g. "fcfs", "opt:portfolio"
 ///   key    := [a-z0-9_]+           e.g. "budget", "window"
+///
+/// The stage grammar (including percent-encoding of reserved characters in
+/// values) is shared with `workload::ScenarioSpec` via util/spec_grammar.
 ///
 /// e.g. `fcfs`, `opt:portfolio?budget=2000&window=sjf:64`,
 /// `agent:claude37?window=arrival:32&scratchpad=false`. Parameters are typed
@@ -117,13 +122,10 @@ class ParamReader {
 std::string window_to_string(const sim::PlanningWindow& window);
 
 /// One declared parameter of a registered method (documentation + default;
-/// the registry rejects keys that are not declared here).
-struct ParamInfo {
-  std::string key;
-  std::string type;           ///< "int", "bool", "window"
-  std::string default_value;  ///< rendered default, as --list-methods prints it
-  std::string doc;
-};
+/// the registry rejects keys that are not declared here). The shape is the
+/// shared spec-grammar one, so method and scenario registries list their
+/// parameters identically.
+using ParamInfo = util::SpecParamInfo;
 
 /// One registered scheduler family: canonical name, display label (matches
 /// the built Scheduler::name() for the parameter-free spec), declared
@@ -140,14 +142,18 @@ struct MethodInfo {
 /// String-keyed registry of every constructible scheduler variant. The
 /// built-in families self-register per layer (sched::register_methods,
 /// opt::register_methods, core::register_methods) on first use of
-/// `instance()`; extensions may `add()` more at startup. Reads are lock-free
-/// and the sweep layer only reads, so populate before spawning workers.
+/// `instance()`; extensions may `add()` more at startup. The registry
+/// freezes at the first lookup: reads are lock-free and the sweep layer
+/// reads from worker threads, so a late `add()` (after any
+/// find/at/names/describe/build) throws std::logic_error instead of racing
+/// the readers.
 class MethodRegistry {
  public:
   /// The process-wide registry, with all built-in methods registered.
   static MethodRegistry& instance();
 
-  /// Register a method; throws std::logic_error on duplicate or empty name.
+  /// Register a method; throws std::logic_error on duplicate or empty name,
+  /// or on registration after the registry froze.
   void add(MethodInfo info);
 
   const MethodInfo* find(const std::string& name) const;
@@ -164,8 +170,13 @@ class MethodRegistry {
   /// (`compare_schedulers --list-methods`).
   std::string describe() const;
 
+  bool frozen() const { return frozen_.load(std::memory_order_acquire); }
+
  private:
+  void freeze() const { frozen_.store(true, std::memory_order_release); }
+
   std::map<std::string, MethodInfo> methods_;
+  mutable std::atomic<bool> frozen_{false};
 };
 
 /// Presentation label for a spec: the registry display label, plus the

@@ -17,23 +17,35 @@ bool operator<(const GroupKey& a, const GroupKey& b) {
   return std::tie(a.scenario, a.n_jobs, a.method) < std::tie(b.scenario, b.n_jobs, b.method);
 }
 
-std::vector<sim::Job> cell_jobs(const SweepConfig& config, workload::Scenario scenario,
-                                std::size_t n_jobs, std::size_t repetition) {
+std::vector<sim::Job> cell_jobs(const SweepConfig& config,
+                                const workload::ScenarioSpec& scenario, std::size_t n_jobs,
+                                std::size_t repetition) {
+  // Seeds derive from the scenario *label*, which for the seven canonical
+  // paper specs is the legacy enum display name - so every recorded result
+  // survives the enum -> spec rekey bit-identically.
   const std::uint64_t workload_seed = util::derive_seed(
-      util::derive_seed(config.base_seed, workload::to_string(scenario), n_jobs), "rep",
+      util::derive_seed(config.base_seed, workload::scenario_label(scenario), n_jobs), "rep",
       repetition);
   if (config.workload_source) {
     return config.workload_source(scenario, n_jobs, workload_seed);
   }
-  return workload::make_generator(scenario)->generate(n_jobs, workload_seed,
-                                                      config.arrival_mode,
-                                                      config.engine.cluster);
+  workload::GenerateOptions options;
+  options.arrival_mode = config.arrival_mode;
+  options.cluster = config.engine.cluster;
+  return workload::generate_scenario(scenario, n_jobs, workload_seed, options);
 }
 
 std::uint64_t cell_seed(const SweepConfig& config, const Cell& cell) {
   return util::derive_seed(
       util::derive_seed(config.base_seed, method_name(cell.method), cell.n_jobs),
-      workload::to_string(cell.scenario), cell.repetition + 1);
+      workload::scenario_label(cell.scenario), cell.repetition + 1);
+}
+
+sim::EngineConfig cell_engine(const SweepConfig& config,
+                              const workload::ScenarioSpec& scenario) {
+  sim::EngineConfig engine = config.engine;
+  engine.cluster = workload::effective_cluster(scenario, engine.cluster);
+  return engine;
 }
 
 namespace {
@@ -49,7 +61,7 @@ void sweep_cells(const SweepConfig& config, Consume&& consume) {
   // in a cell sees the identical job list. Derive each list once and share
   // it across the method axis instead of regenerating per method.
   struct WorkloadKey {
-    workload::Scenario scenario;
+    workload::ScenarioSpec scenario;
     std::size_t n_jobs;
     std::size_t repetition;
     bool operator<(const WorkloadKey& o) const {
@@ -57,19 +69,27 @@ void sweep_cells(const SweepConfig& config, Consume&& consume) {
              std::tie(o.scenario, o.n_jobs, o.repetition);
     }
   };
-  // Dedup the method axis by value: the same spec listed twice (e.g. the
+  // Dedup both spec axes by value: the same spec listed twice (e.g. the
   // enum shim and its string form assembled from different sources) is one
-  // method, not two identical cells fighting over one result key.
+  // axis value, not two identical cells fighting over one result key.
   const std::vector<MethodSpec> methods = dedup_methods(config.methods);
+  const std::vector<workload::ScenarioSpec> scenarios =
+      workload::dedup_scenarios(config.scenarios);
 
   std::map<WorkloadKey, std::size_t> workload_index;
   std::vector<WorkloadKey> workload_keys;
   std::vector<Cell> cells;
-  for (const auto scenario : config.scenarios) {
+  // Cluster overrides (`|cluster?nodes=...`) are a per-scenario property;
+  // resolve each scenario's engine config once, not per cell.
+  std::vector<sim::EngineConfig> engines;
+  std::vector<std::size_t> cell_engine_index;
+  for (const auto& scenario : scenarios) {
+    engines.push_back(cell_engine(config, scenario));
     for (const auto n : config.job_counts) {
       for (const auto& method : methods) {
         for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
           cells.push_back(Cell{scenario, n, method, rep});
+          cell_engine_index.push_back(engines.size() - 1);
           const WorkloadKey key{scenario, n, rep};
           if (workload_index.emplace(key, workload_keys.size()).second) {
             workload_keys.push_back(key);
@@ -91,7 +111,8 @@ void sweep_cells(const SweepConfig& config, Consume&& consume) {
     const Cell& cell = cells[i];
     const auto& jobs =
         workloads[workload_index.at(WorkloadKey{cell.scenario, cell.n_jobs, cell.repetition})];
-    RunOutcome outcome = run_method(jobs, cell.method, cell_seed(config, cell), config.engine);
+    RunOutcome outcome = run_method(jobs, cell.method, cell_seed(config, cell),
+                                    engines[cell_engine_index[i]]);
     std::lock_guard lock(mu);
     consume(cell, std::move(outcome));
   });

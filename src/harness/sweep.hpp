@@ -7,14 +7,17 @@
 #include "harness/experiment.hpp"
 #include "metrics/aggregate.hpp"
 #include "workload/generator.hpp"
+#include "workload/scenario_spec.hpp"
 
 namespace reasched::harness {
 
-/// One cell of an experiment grid. The method axis is a `MethodSpec`, so
-/// windowed/budgeted/profiled variants of one scheduler family are distinct
-/// cells like any other axis value (enum values still convert implicitly).
+/// One cell of an experiment grid. Both axes are specs: the method axis is
+/// a `MethodSpec` and the scenario axis a `workload::ScenarioSpec`, so
+/// windowed/budgeted scheduler variants and perturbed/mixed/piped workload
+/// variants are distinct cells like any other axis value (the legacy
+/// `Method` / `workload::Scenario` enums still convert implicitly).
 struct Cell {
-  workload::Scenario scenario = workload::Scenario::kHeterogeneousMix;
+  workload::ScenarioSpec scenario = workload::Scenario::kHeterogeneousMix;
   std::size_t n_jobs = 60;
   MethodSpec method = Method::kFcfs;
   std::size_t repetition = 0;
@@ -23,7 +26,10 @@ struct Cell {
 bool operator<(const Cell& a, const Cell& b);
 
 struct SweepConfig {
-  std::vector<workload::Scenario> scenarios;
+  /// Scenario axis as specs (`"bursty_idle"`, `"mix(long_job:0.2,
+  /// resource_sparse:0.8)"`, `"hetero_mix?rate_scale=2|dag?fanout=4"`);
+  /// duplicates (value equality) run once, mirroring the method axis.
+  std::vector<workload::ScenarioSpec> scenarios;
   std::vector<std::size_t> job_counts;
   /// Method axis as specs; duplicates (same canonical spec) run once, so a
   /// panel assembled from several sources need not dedup by hand.
@@ -34,36 +40,44 @@ struct SweepConfig {
   sim::EngineConfig engine;
   /// Worker threads for independent cells (0 = hardware concurrency).
   std::size_t threads = 0;
-  /// Optional workload source replacing the scenario generators - how trace
-  /// replays (SWF files, Polaris trace substitutes) ride through the same
+  /// Optional workload source replacing the scenario registry - how ad-hoc
+  /// replays (pre-loaded traces, external generators) ride through the same
   /// grid, pairing and aggregation machinery. Called once per distinct
   /// (scenario, n_jobs, repetition) with the cell's derived workload seed;
   /// must be deterministic in its arguments and safe to call from worker
-  /// threads. The scenario axis degrades to a label for the result keys.
-  std::function<std::vector<sim::Job>(workload::Scenario scenario, std::size_t n_jobs,
-                                      std::uint64_t workload_seed)>
+  /// threads. The scenario axis degrades to a label for the result keys
+  /// (any spec string parses; it need not name a registered scenario).
+  std::function<std::vector<sim::Job>(const workload::ScenarioSpec& scenario,
+                                      std::size_t n_jobs, std::uint64_t workload_seed)>
       workload_source;
 };
 
 /// Run the full grid. Each cell draws its workload from a seed derived from
-/// (base_seed, scenario, n_jobs, repetition) - so all methods in a cell see
-/// the *identical* job list (paired comparison, as in the paper) - and its
-/// scheduler from a seed additionally keyed by method and repetition.
-/// Each distinct (scenario, n_jobs, repetition) workload is generated once
-/// and shared across the method axis, not re-derived per method.
-/// Deterministic regardless of thread count.
+/// (base_seed, scenario label, n_jobs, repetition) - so all methods in a
+/// cell see the *identical* job list (paired comparison, as in the paper) -
+/// and its scheduler from a seed additionally keyed by method and
+/// repetition. Each distinct (scenario, n_jobs, repetition) workload is
+/// generated once and shared across the method axis, not re-derived per
+/// method. Deterministic regardless of thread count.
 std::map<Cell, RunOutcome> run_sweep(const SweepConfig& config);
 
 /// Workload for one cell (exposed so benches/tests can re-derive it).
-std::vector<sim::Job> cell_jobs(const SweepConfig& config, workload::Scenario scenario,
-                                std::size_t n_jobs, std::size_t repetition);
+std::vector<sim::Job> cell_jobs(const SweepConfig& config,
+                                const workload::ScenarioSpec& scenario, std::size_t n_jobs,
+                                std::size_t repetition);
 
 /// Seed for one cell's scheduler.
 std::uint64_t cell_seed(const SweepConfig& config, const Cell& cell);
 
+/// Engine config for one cell: the sweep config's engine with the
+/// scenario's `cluster?...` overrides applied, so generation-side clamping
+/// and engine-side capacity always agree within a cell.
+sim::EngineConfig cell_engine(const SweepConfig& config,
+                              const workload::ScenarioSpec& scenario);
+
 /// Collapse repetitions: per (scenario, n_jobs, method) aggregate.
 struct GroupKey {
-  workload::Scenario scenario;
+  workload::ScenarioSpec scenario;
   std::size_t n_jobs;
   MethodSpec method;
 };

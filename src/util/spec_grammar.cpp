@@ -1,0 +1,150 @@
+#include "util/spec_grammar.hpp"
+
+#include "util/string_utils.hpp"
+
+namespace reasched::util {
+
+namespace {
+
+constexpr const char* kReservedValueChars = "%&=?|(),";
+
+bool is_reserved_value_char(char c) {
+  for (const char* p = kReservedValueChars; *p != '\0'; ++p) {
+    if (*p == c) return true;
+  }
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+bool valid_spec_name_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == ':' || c == '_' || c == '.' ||
+         c == '-';
+}
+
+bool valid_spec_key_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+std::string percent_decode(std::string_view s, std::string_view context) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out += s[i];
+      continue;
+    }
+    const int hi = i + 1 < s.size() ? hex_digit(s[i + 1]) : -1;
+    const int lo = i + 2 < s.size() ? hex_digit(s[i + 2]) : -1;
+    if (hi < 0 || lo < 0) {
+      throw SpecGrammarError("invalid percent-escape in '" + std::string(context) +
+                             "' (expected %XX with two hex digits)");
+    }
+    out += static_cast<char>(hi * 16 + lo);
+    i += 2;
+  }
+  return out;
+}
+
+std::string percent_encode_value(std::string_view s) {
+  static const char* hex = "0123456789abcdef";
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (is_reserved_value_char(c)) {
+      out += '%';
+      out += hex[static_cast<unsigned char>(c) >> 4];
+      out += hex[static_cast<unsigned char>(c) & 0xf];
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+ParsedStage parse_spec_stage(std::string_view s_in, std::string_view kind) {
+  const std::string s = trim(s_in);
+  const std::string k(kind);
+  if (s.empty()) throw SpecGrammarError(k + " spec is empty");
+
+  ParsedStage out;
+  const auto q = s.find('?');
+  out.name = s.substr(0, q);
+  if (out.name.empty()) {
+    throw SpecGrammarError(k + " spec '" + s + "' has no name before '?'");
+  }
+  for (const char c : out.name) {
+    if (!valid_spec_name_char(c)) {
+      throw SpecGrammarError(k + " name '" + out.name + "' contains invalid character '" +
+                             std::string(1, c) + "' (allowed: a-z 0-9 : _ . -)");
+    }
+  }
+  if (q == std::string::npos) return out;
+
+  const std::string param_str = s.substr(q + 1);
+  if (param_str.empty()) {
+    throw SpecGrammarError(k + " spec '" + s + "' has '?' but no parameters");
+  }
+  for (const std::string& kv : split(param_str, '&')) {
+    const auto eq = kv.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == kv.size()) {
+      throw SpecGrammarError("parameter '" + kv + "' in spec '" + s +
+                             "' is not of the form key=value");
+    }
+    const std::string key = kv.substr(0, eq);
+    for (const char c : key) {
+      if (!valid_spec_key_char(c)) {
+        throw SpecGrammarError("parameter key '" + key + "' in spec '" + s +
+                               "' contains invalid character '" + std::string(1, c) +
+                               "' (allowed: a-z 0-9 _)");
+      }
+    }
+    const std::string value = percent_decode(kv.substr(eq + 1), s);
+    if (!out.params.emplace(key, value).second) {
+      throw SpecGrammarError("duplicate parameter '" + key + "' in spec '" + s + "'");
+    }
+  }
+  return out;
+}
+
+std::string spec_stage_to_string(const std::string& name,
+                                 const std::map<std::string, std::string>& params) {
+  if (params.empty()) return name;
+  std::string out = name;
+  char sep = '?';
+  for (const auto& [key, value] : params) {  // std::map: sorted, canonical
+    out += sep;
+    out += key;
+    out += '=';
+    out += percent_encode_value(value);
+    sep = '&';
+  }
+  return out;
+}
+
+std::vector<std::string> split_outside_parens(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  for (const char c : s) {
+    if (c == '(') ++depth;
+    if (c == ')') --depth;
+    if (c == delim && depth == 0) {
+      out.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+}  // namespace reasched::util

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace reasched::util {
+
+/// The spec-string grammar shared by the harness method axis
+/// (`harness::MethodSpec`) and the workload scenario axis
+/// (`workload::ScenarioSpec`): a registry name plus a `?key=value&...`
+/// parameter bag per stage. Factoring the stage grammar here keeps the two
+/// axes bit-compatible - percent-encoding, key validation, duplicate
+/// detection and canonical serialization can never drift apart.
+///
+///   stage  := name [ '?' key '=' value ( '&' key '=' value )* ]
+///   name   := [a-z0-9_.:-]+
+///   key    := [a-z0-9_]+
+///   value  := any characters; the reserved set  % & = ? | ( ) , and
+///             whitespace travels percent-encoded (`%26` for '&', ...)
+///
+/// Values are stored decoded; `spec_stage_to_string` re-encodes exactly the
+/// reserved set, so parse(to_string()) is the identity and a canonical spec
+/// with ordinary values is byte-identical to its raw form.
+
+/// Thrown by the shared helpers; each axis catches it and rethrows its own
+/// user-facing error type (MethodSpecError / ScenarioSpecError) so call
+/// sites only ever see the exception family of the layer they talked to.
+class SpecGrammarError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// One declared parameter of a registered spec family, shared between
+/// `--list-methods` and `--list-scenarios` output (documentation + default;
+/// registries reject keys that are not declared).
+struct SpecParamInfo {
+  std::string key;
+  std::string type;           ///< "int", "bool", "double", "range", "time", ...
+  std::string default_value;  ///< rendered default, as the listings print it
+  std::string doc;
+};
+
+bool valid_spec_name_char(char c);
+bool valid_spec_key_char(char c);
+
+/// Decode `%XX` escapes; `context` names the offending spec in errors.
+std::string percent_decode(std::string_view s, std::string_view context);
+
+/// Encode the grammar's reserved characters (see file comment) so a value
+/// containing them survives the stage/pipeline/mix separators.
+std::string percent_encode_value(std::string_view s);
+
+/// One parsed stage: the shape both MethodSpec and ScenarioStage share.
+struct ParsedStage {
+  std::string name;
+  std::map<std::string, std::string> params;
+};
+
+/// Parse `name[?key=value&...]`. `kind` prefixes every error message
+/// ("method", "scenario", "transform") so the text names the axis the user
+/// actually typed a spec for. Values are percent-decoded.
+ParsedStage parse_spec_stage(std::string_view s, std::string_view kind);
+
+/// Canonical compact form: `name` or `name?k=v&k=v`, keys in sorted order
+/// (std::map), values percent-encoded. parse(to_string()) == identity.
+std::string spec_stage_to_string(const std::string& name,
+                                 const std::map<std::string, std::string>& params);
+
+/// Split on `delim` at paren depth zero - the pipeline ('|'), mix-component
+/// (',') and weight (':') separators must not fire inside `mix(...)`.
+std::vector<std::string> split_outside_parens(std::string_view s, char delim);
+
+}  // namespace reasched::util

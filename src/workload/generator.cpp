@@ -19,17 +19,23 @@ std::vector<sim::Job> WorkloadGenerator::generate(std::size_t n, std::uint64_t s
   // (resources, durations, users, arrivals) is bit-identical across noise
   // settings - estimate-noise experiments stay paired.
   util::Rng noise_rng(util::derive_seed(seed, name(), /*index=*/0x57a11));
+  // Cluster caps hoisted out of the per-job loop: the fit guarantee (every
+  // job schedulable in principle) clamps against these two constants, and
+  // transform operators must preserve it - generate_scenario() re-asserts
+  // the same bounds after every pipeline stage.
+  const int max_nodes = options.cluster.total_nodes;
+  const double max_memory_gb = options.cluster.total_memory_gb;
+  const bool noisy_walltime = options.walltime_factor_max > 1.0;
   std::vector<sim::Job> jobs;
   jobs.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
     sim::Job job = make_job(static_cast<sim::JobId>(i + 1), rng);
     job.id = static_cast<sim::JobId>(i + 1);
-    // Clamp to cluster capacity so every job is schedulable in principle.
-    job.nodes = std::clamp(job.nodes, 1, options.cluster.total_nodes);
-    job.memory_gb = std::clamp(job.memory_gb, 0.5, options.cluster.total_memory_gb);
+    job.nodes = std::clamp(job.nodes, 1, max_nodes);
+    job.memory_gb = std::clamp(job.memory_gb, 0.5, max_memory_gb);
     job.duration = std::max(1.0, job.duration);
     if (job.walltime <= 0.0) job.walltime = job.duration;
-    if (options.walltime_factor_max > 1.0) {
+    if (noisy_walltime) {
       job.walltime = job.duration * noise_rng.uniform_real(options.walltime_factor_min,
                                                            options.walltime_factor_max);
     }

@@ -5,6 +5,7 @@
 #include "harness/export.hpp"
 #include "harness/method_spec.hpp"
 #include "harness/sweep.hpp"
+#include "spec_grammar_test_helper.hpp"
 #include "workload/generator.hpp"
 
 namespace rh = reasched::harness;
@@ -16,19 +17,31 @@ namespace {
 /// Message-content helper: the error must mention every given fragment.
 template <typename Fn>
 void expect_spec_error(Fn&& fn, const std::vector<std::string>& fragments) {
-  try {
-    fn();
-    FAIL() << "expected MethodSpecError";
-  } catch (const rh::MethodSpecError& e) {
-    const std::string what = e.what();
-    for (const auto& fragment : fragments) {
-      EXPECT_NE(what.find(fragment), std::string::npos)
-          << "error message '" << what << "' should mention '" << fragment << "'";
-    }
-  }
+  reasched::testing::expect_spec_error<rh::MethodSpecError>(std::forward<Fn>(fn), fragments);
 }
 
 }  // namespace
+
+TEST(MethodSpec, SharedGrammarCases) {
+  // The grammar edge cases every spec axis must satisfy identically
+  // (percent-encoding, duplicate keys, canonicalization) - the scenario
+  // axis runs the same helper in test_workload_scenario_spec.cpp.
+  reasched::testing::SpecGrammarApi api;
+  api.parse_ok = [](const std::string& s) { rh::MethodSpec::parse(s); };
+  api.canonical = [](const std::string& s) { return rh::MethodSpec::parse(s).to_string(); };
+  api.param_value = [](const std::string& s, const std::string& key) {
+    return rh::MethodSpec::parse(s).params.at(key);
+  };
+  api.parse_fails = [](const std::string& s) {
+    try {
+      rh::MethodSpec::parse(s);
+      return false;
+    } catch (const rh::MethodSpecError&) {
+      return true;
+    }
+  };
+  reasched::testing::run_shared_grammar_cases(api, "fcfs");
+}
 
 TEST(MethodSpec, ParseBareName) {
   const auto spec = rh::MethodSpec::parse("fcfs");
@@ -102,6 +115,21 @@ TEST(MethodRegistry, ListsAllBuiltinMethods) {
     EXPECT_NE(listing.find(fragment), std::string::npos)
         << "--list-methods output should mention " << fragment;
   }
+}
+
+TEST(MethodRegistry, FrozenAfterFirstLookup) {
+  // Reads are lock-free and the sweep layer reads from worker threads, so
+  // registration is startup-only: the first lookup freezes the registry and
+  // a late add() fails loudly instead of racing the readers.
+  auto& registry = rh::MethodRegistry::instance();
+  (void)registry.names();  // any lookup freezes
+  EXPECT_TRUE(registry.frozen());
+  rh::MethodInfo late;
+  late.name = "late:method";
+  late.build = [](const rh::MethodSpec&, std::uint64_t) {
+    return std::unique_ptr<rs::Scheduler>();
+  };
+  EXPECT_THROW(registry.add(std::move(late)), std::logic_error);
 }
 
 TEST(MethodRegistry, UnknownNameRejectedWithRegisteredList) {

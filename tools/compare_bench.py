@@ -7,13 +7,14 @@ baseline and fails on regressions:
 
     python3 tools/compare_bench.py --baseline BENCH_baseline.json \
         current_engine.json current_policy.json current_opt.json \
-        [--tolerance 0.25] [--gate-suffix dec_per_s]
+        [--tolerance 0.25] [--gate-suffix dec_per_s] [--gate-suffix jobs_per_s]
 
 Gating rules
 ------------
-* Only metrics whose name ends with --gate-suffix (default "dec_per_s",
-  i.e. decisions/sec, higher is better) are gated; anything else in the
-  files is informational.
+* Only metrics whose name ends with a --gate-suffix (repeatable; default
+  "dec_per_s", i.e. decisions/sec, higher is better - CI adds "jobs_per_s"
+  for the workload-generation bench) are gated; anything else in the files
+  is informational.
 * A gated metric regresses when current < baseline * scale * (1 -
   tolerance), where scale is 1.0 by default. The default tolerance of 0.25
   is deliberately wide so the gate catches algorithmic slowdowns (the
@@ -73,8 +74,9 @@ def main():
     parser.add_argument("--baseline", help="checked-in baseline JSON")
     parser.add_argument("--tolerance", type=float, default=0.25,
                         help="allowed fractional drop on gated metrics (default 0.25)")
-    parser.add_argument("--gate-suffix", default="dec_per_s",
-                        help="gate metrics whose name ends with this (default dec_per_s)")
+    parser.add_argument("--gate-suffix", action="append", default=None,
+                        help="gate metrics whose name ends with this (repeatable; "
+                             "default dec_per_s)")
     parser.add_argument("--calibrate", action="store_true",
                         help="rescale the baseline by the median of per-family median "
                              "current/baseline ratios before gating (machine-independent; "
@@ -98,7 +100,8 @@ def main():
     with open(args.baseline) as f:
         baseline = json.load(f)
 
-    gated = lambda name: name.endswith(args.gate_suffix)
+    suffixes = args.gate_suffix or ["dec_per_s"]
+    gated = lambda name: any(name.endswith(suffix) for suffix in suffixes)
     regressions, missing, ok = [], [], 0
 
     scale = 1.0
