@@ -19,6 +19,11 @@
 // matters, not absolute plan quality. --json writes windowed and unbounded
 // decisions/sec per (solver, size) for the CI bench-regression gate
 // (tools/compare_bench.py).
+//
+// PR 6 adds evaluations/sec (the unit the incremental-evaluation layer with
+// bound cutoffs targets; for B&B the count is explored nodes) and the
+// windowed-over-full decisions/sec ratio, so speedups decompose into
+// "cheaper evaluations" vs "fewer jobs decoded".
 
 #include <chrono>
 #include <cstdio>
@@ -88,60 +93,73 @@ struct DeepQueue {
 
 struct Solver {
   const char* label;
-  /// One decision's worth of solver work over the visible job set.
-  double (*plan)(const opt::ProblemView&, util::Rng&);
+  /// One decision's worth of solver work over the visible job set. Reports
+  /// the candidate evaluations it performed (B&B: explored nodes) so the
+  /// bench can express throughput as evaluations/sec.
+  double (*plan)(const opt::ProblemView&, util::Rng&, std::size_t& evals);
 };
 
 const opt::ObjectiveWeights kWeights;
 
-double plan_list(const opt::ProblemView& p, util::Rng&) {
+double plan_list(const opt::ProblemView& p, util::Rng&, std::size_t& evals) {
   double best = opt::evaluate(opt::decode_order(p, opt::order_spt(p)), kWeights);
   for (const auto& seed :
        {opt::order_by_arrival(p), opt::order_lpt(p), opt::order_widest(p)}) {
     best = std::min(best, opt::evaluate(opt::decode_order(p, seed), kWeights));
   }
+  evals = 4;
   return best;
 }
 
-double plan_bnb(const opt::ProblemView& p, util::Rng&) {
+double plan_bnb(const opt::ProblemView& p, util::Rng&, std::size_t& evals) {
   opt::BnbConfig config;
   config.max_nodes = 2000;
-  return opt::branch_and_bound(p, kWeights, config).score;
+  const auto r = opt::branch_and_bound(p, kWeights, config);
+  evals = r.explored;
+  return r.score;
 }
 
-double plan_local(const opt::ProblemView& p, util::Rng&) {
-  return opt::local_search(p, opt::order_spt(p), kWeights, 200).score;
+double plan_local(const opt::ProblemView& p, util::Rng&, std::size_t& evals) {
+  const auto r = opt::local_search(p, opt::order_spt(p), kWeights, 200);
+  evals = r.evaluations;
+  return r.score;
 }
 
-double plan_sa(const opt::ProblemView& p, util::Rng& rng) {
+double plan_sa(const opt::ProblemView& p, util::Rng& rng, std::size_t& evals) {
   opt::SaConfig config;
   config.iterations = 400;
-  return opt::simulated_annealing(p, opt::order_spt(p), kWeights, config, rng).score;
+  const auto r = opt::simulated_annealing(p, opt::order_spt(p), kWeights, config, rng);
+  evals = r.evaluations;
+  return r.score;
 }
 
-double plan_ga(const opt::ProblemView& p, util::Rng& rng) {
+double plan_ga(const opt::ProblemView& p, util::Rng& rng, std::size_t& evals) {
   opt::GaConfig config;
   config.population = 16;
   config.generations = 8;
-  return opt::genetic_algorithm(p, opt::order_spt(p), kWeights, config, rng).score;
+  const auto r = opt::genetic_algorithm(p, opt::order_spt(p), kWeights, config, rng);
+  evals = r.evaluations;
+  return r.score;
 }
 
-double plan_pso(const opt::ProblemView& p, util::Rng& rng) {
+double plan_pso(const opt::ProblemView& p, util::Rng& rng, std::size_t& evals) {
   opt::PsoConfig config;
   config.particles = 12;
   config.iterations = 10;
-  return opt::particle_swarm(p, opt::order_spt(p), kWeights, config, rng).score;
+  const auto r = opt::particle_swarm(p, opt::order_spt(p), kWeights, config, rng);
+  evals = r.evaluations;
+  return r.score;
 }
 
 /// Best-of-reps seconds for one plan invocation (fresh deterministic rng per
 /// rep so repetitions measure the same work).
 double time_plan(const Solver& solver, const opt::ProblemView& view, std::uint64_t seed,
-                 std::size_t reps, double& score_out) {
+                 std::size_t reps, double& score_out, std::size_t& evals_out) {
   double best_s = 0.0;
   for (std::size_t r = 0; r < reps; ++r) {
     util::Rng rng(seed);
     const auto t0 = std::chrono::steady_clock::now();
-    score_out = solver.plan(view, rng);
+    score_out = solver.plan(view, rng, evals_out);
     const auto t1 = std::chrono::steady_clock::now();
     const double s = std::chrono::duration<double>(t1 - t0).count();
     if (r == 0 || s < best_s) best_s = s;
@@ -174,8 +192,8 @@ int main(int argc, char** argv) {
       "(top-%zu by arrival) vs unbounded ProblemView, bench-sized budgets,\n"
       "best of %zu:\n\n",
       window_k, reps);
-  std::printf("  %6s  %8s  %14s  %14s  %9s  %s\n", "solver", "jobs", "windowed dec/s",
-              "unbounded dec/s", "speedup", "check");
+  std::printf("  %6s  %8s  %14s  %14s  %9s  %12s  %s\n", "solver", "jobs", "windowed dec/s",
+              "unbounded dec/s", "speedup", "full evals/s", "check");
 
   bool all_match = true;
   for (const std::size_t n : sizes) {
@@ -200,21 +218,28 @@ int main(int argc, char** argv) {
 
     for (const Solver& solver : solvers) {
       double score = 0.0;
-      const double win_s = time_plan(solver, windowed, seed, reps, score);
+      std::size_t evals = 0;
+      const double win_s = time_plan(solver, windowed, seed, reps, score, evals);
       const double win_dps = 1.0 / win_s;
       json.add(util::format("opt/%s/jobs%zu/win%zu/dec_per_s", solver.label, n, window_k),
                win_dps);
+      json.add(util::format("opt/%s/jobs%zu/win%zu/evals_per_s", solver.label, n, window_k),
+               static_cast<double>(evals) / win_s);
 
       if (n > unbounded_max) {
-        std::printf("  %6s  %8zu  %14.1f  %14s  %9s  %s\n", solver.label, n, win_dps, "-", "-",
-                    match ? "equal" : "MISMATCH");
+        std::printf("  %6s  %8zu  %14.1f  %14s  %9s  %12s  %s\n", solver.label, n, win_dps,
+                    "-", "-", "-", match ? "equal" : "MISMATCH");
         continue;
       }
-      const double full_s = time_plan(solver, view, seed, reps, score);
+      const double full_s = time_plan(solver, view, seed, reps, score, evals);
       const double full_dps = 1.0 / full_s;
+      const double full_eps = static_cast<double>(evals) / full_s;
       json.add(util::format("opt/%s/jobs%zu/full/dec_per_s", solver.label, n), full_dps);
-      std::printf("  %6s  %8zu  %14.1f  %14.1f  %8.1fx  %s\n", solver.label, n, win_dps,
-                  full_dps, win_dps / full_dps, match ? "equal" : "MISMATCH");
+      json.add(util::format("opt/%s/jobs%zu/full/evals_per_s", solver.label, n), full_eps);
+      json.add(util::format("opt/%s/jobs%zu/win%zu_over_full_ratio", solver.label, n, window_k),
+               win_dps / full_dps);
+      std::printf("  %6s  %8zu  %14.1f  %14.1f  %8.1fx  %12.0f  %s\n", solver.label, n, win_dps,
+                  full_dps, win_dps / full_dps, full_eps, match ? "equal" : "MISMATCH");
     }
   }
   json.save_if(json_path);

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "opt/incremental.hpp"
 #include "opt/model.hpp"
 #include "opt/objective.hpp"
 #include "util/rng.hpp"
@@ -20,12 +21,16 @@ struct GaConfig {
   double crossover_rate = 0.9;
   double mutation_rate = 0.25;
   std::size_t elites = 2;
+  EvalPolicy eval;  ///< incremental evaluation wiring (GA never cuts off:
+                    ///< sorting and tournaments need every exact score)
 };
 
 struct GaResult {
   std::vector<std::size_t> order;
   double score = 0.0;
   std::size_t evaluations = 0;
+  std::size_t memo_hits = 0;  ///< duplicate candidates served from the memo
+  EvalStats eval;             ///< incremental-evaluation counters
 };
 
 GaResult genetic_algorithm(const ProblemView& problem, std::vector<std::size_t> seed_order,

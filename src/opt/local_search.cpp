@@ -1,30 +1,45 @@
 #include "opt/local_search.hpp"
 
-#include "opt/list_scheduler.hpp"
+#include <stdexcept>
 
 namespace reasched::opt {
 
 LocalSearchResult local_search(const ProblemView& problem, std::vector<std::size_t> order,
-                               const ObjectiveWeights& weights, std::size_t max_evaluations) {
+                               const ObjectiveWeights& weights, std::size_t max_evaluations,
+                               EvalPolicy policy) {
+  if (order.size() != problem.n_jobs()) {
+    throw std::invalid_argument("decode_order: order size mismatch");
+  }
   LocalSearchResult result;
   result.order = std::move(order);
-  result.score = evaluate(decode_order(problem, result.order), weights);
+  IncrementalEvaluator eval(problem, weights, policy);
+  result.score = eval.score(result.order);
   result.evaluations = 1;
 
   const std::size_t n = result.order.size();
-  if (n < 2) return result;
+  if (n < 2) {
+    result.eval = eval.stats();
+    return result;
+  }
 
+  // A candidate is kept only when it improves the incumbent under the
+  // relative tolerance, so the evaluation may abort as soon as the bound
+  // fails that same predicate (kTolerance) - rejections are then decided
+  // without decoding the suffix. Accepting a candidate re-anchors the
+  // evaluator's cache via commit_last(), reusing the trajectory the
+  // accepting evaluation already decoded.
   bool improved = true;
   while (improved && result.evaluations < max_evaluations) {
     improved = false;
     // Adjacent swaps: the cheapest moves, scanned first.
     for (std::size_t i = 0; i + 1 < n && result.evaluations < max_evaluations; ++i) {
       std::swap(result.order[i], result.order[i + 1]);
-      const double score = evaluate(decode_order(problem, result.order), weights);
+      const auto r = eval.score_with_cutoff(result.order, result.score, CutoffMode::kTolerance);
       ++result.evaluations;
-      if (score + 1e-12 < result.score) {
-        result.score = score;
+      if (r.exact && improves(r.value, result.score)) {
+        result.score = r.value;
         improved = true;
+        eval.commit_last();
       } else {
         std::swap(result.order[i], result.order[i + 1]);
       }
@@ -34,17 +49,19 @@ LocalSearchResult local_search(const ProblemView& problem, std::vector<std::size
       const std::size_t v = result.order[i];
       result.order.erase(result.order.begin() + static_cast<std::ptrdiff_t>(i));
       result.order.insert(result.order.begin(), v);
-      const double score = evaluate(decode_order(problem, result.order), weights);
+      const auto r = eval.score_with_cutoff(result.order, result.score, CutoffMode::kTolerance);
       ++result.evaluations;
-      if (score + 1e-12 < result.score) {
-        result.score = score;
+      if (r.exact && improves(r.value, result.score)) {
+        result.score = r.value;
         improved = true;
+        eval.commit_last();
       } else {
         result.order.erase(result.order.begin());
         result.order.insert(result.order.begin() + static_cast<std::ptrdiff_t>(i), v);
       }
     }
   }
+  result.eval = eval.stats();
   return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "opt/incremental.hpp"
 #include "opt/model.hpp"
 #include "opt/objective.hpp"
 
@@ -14,16 +15,18 @@ struct LocalSearchResult {
   std::vector<std::size_t> order;
   double score = 0.0;
   std::size_t evaluations = 0;
+  EvalStats eval;  ///< incremental-evaluation counters (cutoff hit rate etc.)
 };
 
 LocalSearchResult local_search(const ProblemView& problem, std::vector<std::size_t> order,
                                const ObjectiveWeights& weights,
-                               std::size_t max_evaluations = 20000);
+                               std::size_t max_evaluations = 20000, EvalPolicy policy = {});
 
 inline LocalSearchResult local_search(const Problem& problem, std::vector<std::size_t> order,
                                       const ObjectiveWeights& weights,
-                                      std::size_t max_evaluations = 20000) {
-  return local_search(ProblemView(problem), std::move(order), weights, max_evaluations);
+                                      std::size_t max_evaluations = 20000,
+                                      EvalPolicy policy = {}) {
+  return local_search(ProblemView(problem), std::move(order), weights, max_evaluations, policy);
 }
 
 }  // namespace reasched::opt

@@ -31,7 +31,9 @@ void register_methods(harness::MethodRegistry& registry) {
        .is_llm = false,
        .params =
            {{"budget", "int", std::to_string(defaults.sa.iterations),
-             "Simulated-annealing iterations per full replan."},
+             "Simulated-annealing iterations per full replan, or `auto` for the "
+             "profile-guided tuner (wall-clock probe sizes SA/LS budgets to ~40ms per "
+             "replan; machine-dependent, not run-to-run reproducible)."},
             {"ls_evals", "int", std::to_string(defaults.local_search_evals),
              "Local-search evaluations per full replan."},
             {"bnb_threshold", "int", std::to_string(defaults.bnb_threshold),
@@ -40,14 +42,26 @@ void register_methods(harness::MethodRegistry& registry) {
              "Greedy arrival insertions between full re-optimizations."},
             {"window", "window", harness::window_to_string(sim::PlanningWindow{}),
              "Planning window K|order:K|auto (orders: arrival, sjf); 0 = unbounded paper "
-             "semantics, auto = sjf:64, the trace-scale default."}},
+             "semantics, auto = sjf:64, the trace-scale default."},
+            {"incremental", "bool", "1",
+             "Incremental candidate evaluation with bound cutoffs across the solver "
+             "portfolio; 0 restores the naive full-decode pipeline (bit-identical "
+             "decisions, reference speed)."},
+            {"xcheck", "bool", "0",
+             "Differential oracle: re-evaluate every incremental score through the full "
+             "pipeline and abort on any divergence (slow; for validation)."}},
        .build =
            [](const harness::MethodSpec& spec, std::uint64_t seed) {
              const harness::ParamReader params(spec);
              OptimizingSchedulerConfig config;
              config.seed = seed;
-             config.sa.iterations = static_cast<std::size_t>(
-                 params.get_int("budget", static_cast<long long>(config.sa.iterations)));
+             if (const std::string* budget = spec.find_param("budget");
+                 budget != nullptr && *budget == "auto") {
+               config.auto_budget = true;
+             } else {
+               config.sa.iterations = static_cast<std::size_t>(
+                   params.get_int("budget", static_cast<long long>(config.sa.iterations)));
+             }
              config.local_search_evals = static_cast<std::size_t>(params.get_int(
                  "ls_evals", static_cast<long long>(config.local_search_evals)));
              config.bnb_threshold = static_cast<std::size_t>(params.get_int(
@@ -55,6 +69,8 @@ void register_methods(harness::MethodRegistry& registry) {
              config.reopt_every = static_cast<std::size_t>(params.get_int(
                  "reopt_every", static_cast<long long>(config.reopt_every), 1));
              config.window = params.get_window("window", trace_default_window());
+             config.eval.incremental = params.get_bool("incremental", true);
+             config.eval.cross_check = params.get_bool("xcheck", false);
              return std::make_unique<OptimizingScheduler>(config);
            }});
 }

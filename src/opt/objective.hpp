@@ -1,6 +1,7 @@
 #pragma once
 
 #include "opt/model.hpp"
+#include "sim/event.hpp"
 
 namespace reasched::opt {
 
@@ -21,5 +22,14 @@ struct ObjectiveWeights {
 };
 
 double evaluate(const PlannedSchedule& plan, const ObjectiveWeights& weights);
+
+/// Solver-side "candidate strictly beats incumbent" under the relative
+/// tolerance convention of sim::tol_leq (PR 2). Replaces the absolute
+/// `score + 1e-12 < incumbent` epsilons: at Polaris makespans (~1e7 s) one
+/// ulp is already ~2e-9, so an absolute 1e-12 margin degenerates to a raw
+/// `<` that accepts float-noise "improvements" and churns the incumbent.
+inline bool improves(double candidate, double incumbent) {
+  return !sim::tol_leq(incumbent, candidate);
+}
 
 }  // namespace reasched::opt

@@ -1,8 +1,10 @@
 #include "opt/optimizing_scheduler.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "opt/list_scheduler.hpp"
 #include "opt/local_search.hpp"
@@ -19,19 +21,72 @@ void OptimizingScheduler::reset() {
   window_scratch_.clear();
   insertions_since_reopt_ = 0;
   replans_ = 0;
+  tuned_sa_iterations_ = 0;
+  tuned_ls_evals_ = 0;
+  tuned_for_n_ = 0;
+  probe_sink_ = 0.0;
   last_thought_.clear();
+}
+
+void OptimizingScheduler::tune_budget(const ProblemView& problem) {
+  const std::size_t n = problem.n_jobs();
+  // A calibration stays valid while the queue size is within 2x: per-eval
+  // cost is roughly linear in the decoded suffix, and the clamp absorbs the
+  // rest. Avoids paying the probe on every replan.
+  if (tuned_for_n_ != 0 && n <= tuned_for_n_ * 2 && tuned_for_n_ <= n * 2) return;
+
+  std::size_t evals = 1;
+  double elapsed_us = 1.0;
+  if (n >= 2) {
+    IncrementalEvaluator eval(problem, config_.weights, config_.eval);
+    std::vector<std::size_t> order = order_by_arrival(problem);
+    const auto t0 = std::chrono::steady_clock::now();
+    probe_sink_ += eval.score(order);
+    // Representative candidates: single adjacent swaps at varied depths,
+    // since the replay + suffix cost an SA/LS candidate pays depends on
+    // where it diverges from the cached incumbent.
+    while (evals < 256) {
+      const std::size_t i = (evals * 37) % (n - 1);
+      std::swap(order[i], order[i + 1]);
+      probe_sink_ +=
+          eval.score_with_cutoff(order, IncrementalEvaluator::kNoCutoff, CutoffMode::kGreater)
+              .value;
+      std::swap(order[i], order[i + 1]);
+      ++evals;
+      elapsed_us =
+          std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (elapsed_us > 2000.0) break;
+    }
+  }
+  const double us_per_eval = std::max(1e-3, elapsed_us / static_cast<double>(evals));
+  const double target_evals = config_.auto_budget_ms * 1000.0 / us_per_eval;
+  // ~2/3 of the replan budget to SA, the rest across the two LS passes.
+  tuned_sa_iterations_ =
+      static_cast<std::size_t>(std::clamp(target_evals * 0.65, 500.0, 64000.0));
+  tuned_ls_evals_ = static_cast<std::size_t>(std::clamp(target_evals * 0.22, 200.0, 20000.0));
+  tuned_for_n_ = n;
 }
 
 void OptimizingScheduler::full_replan(const ProblemView& problem) {
   ++replans_;
   if (problem.n_jobs() <= config_.bnb_threshold) {
-    const BnbResult exact = branch_and_bound(problem, config_.weights);
+    BnbConfig bnb;
+    bnb.eval = config_.eval;
+    const BnbResult exact = branch_and_bound(problem, config_.weights, bnb);
     priority_.clear();
     for (const std::size_t idx : exact.order) priority_.push_back(problem.job(idx).id);
     last_thought_ = util::format("replan: branch-and-bound over %zu jobs (%zu nodes, %s)",
                                  problem.n_jobs(), exact.explored,
                                  exact.proven_optimal ? "proven optimal" : "budget-capped");
     return;
+  }
+  std::size_t sa_iterations = config_.sa.iterations;
+  std::size_t ls_evals = config_.local_search_evals;
+  if (config_.auto_budget) {
+    tune_budget(problem);
+    sa_iterations = tuned_sa_iterations_;
+    ls_evals = tuned_ls_evals_;
   }
   // Portfolio: best seed -> local search -> SA -> final polish. A seeded
   // random restart joins the deterministic seeds; it is what makes repeated
@@ -40,63 +95,83 @@ void OptimizingScheduler::full_replan(const ProblemView& problem) {
   // OR-Tools.
   std::vector<std::size_t> shuffled = order_by_arrival(problem);
   rng_.shuffle(shuffled);
+  IncrementalEvaluator seed_eval(problem, config_.weights, config_.eval);
   std::vector<std::size_t> best = order_spt(problem);
-  double best_score = evaluate(decode_order(problem, best), config_.weights);
+  double best_score = seed_eval.score(best);
   for (const auto& seed : {order_by_arrival(problem), order_lpt(problem),
                            order_widest(problem), shuffled}) {
-    const double s = evaluate(decode_order(problem, seed), config_.weights);
+    const double s = seed_eval.score(seed);
     if (s < best_score) {
       best_score = s;
       best = seed;
     }
   }
-  auto ls = local_search(problem, std::move(best), config_.weights, config_.local_search_evals);
-  auto sa = simulated_annealing(problem, std::move(ls.order), config_.weights, config_.sa, rng_);
+  SaConfig sa_config = config_.sa;
+  sa_config.iterations = sa_iterations;
+  sa_config.eval = config_.eval;
+  auto ls = local_search(problem, std::move(best), config_.weights, ls_evals, config_.eval);
+  auto sa = simulated_annealing(problem, std::move(ls.order), config_.weights, sa_config, rng_);
   auto polished =
-      local_search(problem, std::move(sa.order), config_.weights, config_.local_search_evals / 2);
+      local_search(problem, std::move(sa.order), config_.weights, ls_evals / 2, config_.eval);
   priority_.clear();
   for (const std::size_t idx : polished.order) priority_.push_back(problem.job(idx).id);
-  last_thought_ = util::format("replan: SA portfolio over %zu jobs, objective %.1f",
-                               problem.n_jobs(), polished.score);
+  if (config_.auto_budget) {
+    last_thought_ = util::format(
+        "replan: SA portfolio over %zu jobs, objective %.1f (auto budget: sa=%zu ls=%zu)",
+        problem.n_jobs(), polished.score, sa_iterations, ls_evals);
+  } else {
+    last_thought_ = util::format("replan: SA portfolio over %zu jobs, objective %.1f",
+                                 problem.n_jobs(), polished.score);
+  }
   insertions_since_reopt_ = 0;
 }
 
 void OptimizingScheduler::insert_new_jobs(const ProblemView& problem) {
   std::set<sim::JobId> planned(priority_.begin(), priority_.end());
   std::vector<sim::JobId> new_ids;
+  std::unordered_map<sim::JobId, std::size_t> index_of;
+  index_of.reserve(problem.n_jobs());
   for (std::size_t i = 0; i < problem.n_jobs(); ++i) {
+    index_of.emplace(problem.job(i).id, i);
     if (planned.count(problem.job(i).id) == 0) new_ids.push_back(problem.job(i).id);
   }
   if (new_ids.empty()) return;
 
-  // Map ids to indices in the problem's job set for decoding.
-  auto index_of = [&problem](sim::JobId id) {
-    for (std::size_t i = 0; i < problem.n_jobs(); ++i) {
-      if (problem.job(i).id == id) return i;
-    }
-    throw std::logic_error("OptimizingScheduler: id not in problem");
+  const auto resolve = [&](sim::JobId id) {
+    const auto it = index_of.find(id);
+    if (it == index_of.end()) throw std::logic_error("OptimizingScheduler: id not in problem");
+    return it->second;
   };
 
+  // Greedy best-position insertion of each newcomer into the priority list.
+  // The evaluator caches the current plan's decode; each position probe
+  // replays only from its insertion point with the incumbent best as the
+  // cutoff. An aborted probe proves score >= best_score, which the old
+  // full-decode sweep would have rejected anyway (strict <, earliest
+  // position keeps ties), so the chosen positions are bit-identical.
+  IncrementalEvaluator eval(problem, config_.weights, config_.eval);
+  std::vector<std::size_t> base;
+  base.reserve(priority_.size() + new_ids.size());
+  for (const sim::JobId pid : priority_) base.push_back(resolve(pid));
+
   for (const sim::JobId id : new_ids) {
-    // Greedy best-position insertion of the newcomer into the priority list.
-    std::vector<std::size_t> base;
-    base.reserve(priority_.size());
-    for (const sim::JobId pid : priority_) base.push_back(index_of(pid));
-    const std::size_t new_idx = index_of(id);
+    const std::size_t new_idx = resolve(id);
+    eval.score(base);
 
     double best_score = 0.0;
     std::size_t best_pos = 0;
     bool first = true;
     for (std::size_t pos = 0; pos <= base.size(); ++pos) {
-      std::vector<std::size_t> candidate = base;
-      candidate.insert(candidate.begin() + static_cast<std::ptrdiff_t>(pos), new_idx);
-      const double score = evaluate(decode_subset(problem, candidate), config_.weights);
-      if (first || score < best_score) {
-        best_score = score;
+      const double cutoff = first ? IncrementalEvaluator::kNoCutoff : best_score;
+      const auto r = eval.score_insertion(pos, new_idx, cutoff, CutoffMode::kGreaterEqual);
+      if (!r.exact) continue;
+      if (first || r.value < best_score) {
+        best_score = r.value;
         best_pos = pos;
         first = false;
       }
     }
+    base.insert(base.begin() + static_cast<std::ptrdiff_t>(best_pos), new_idx);
     priority_.insert(priority_.begin() + static_cast<std::ptrdiff_t>(best_pos), id);
     ++insertions_since_reopt_;
   }

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "opt/branch_and_bound.hpp"
+#include "opt/incremental.hpp"
 #include "opt/objective.hpp"
 #include "opt/simulated_annealing.hpp"
 #include "sim/planning_window.hpp"
@@ -29,6 +30,17 @@ struct OptimizingSchedulerConfig {
   /// outside the window are invisible to the plan until they enter it -
   /// the fixed-size-observation trade the related RL schedulers make.
   sim::PlanningWindow window;
+  /// Incremental/cutoff evaluation wiring, forwarded to every solver in the
+  /// portfolio (incremental=false restores the naive full-decode pipeline;
+  /// cross_check=true runs the per-candidate differential oracle).
+  EvalPolicy eval;
+  /// Profile-guided SA/local-search budget tuning (`opt:portfolio?
+  /// budget=auto`): a short wall-clock probe measures evaluations/sec on
+  /// the live queue and sizes the metaheuristic budgets to auto_budget_ms
+  /// per replan. Wall-clock-driven, hence machine-dependent and NOT
+  /// run-to-run reproducible - keep it off (the default) for golden paths.
+  bool auto_budget = false;
+  double auto_budget_ms = 40.0;
   /// Differential-oracle mode (tests/test_opt_golden.cpp): plan over the
   /// copying Problem::from_context snapshot instead of the zero-copy
   /// ProblemView. Decisions must be bit-identical when window.top_k == 0.
@@ -56,6 +68,7 @@ class OptimizingScheduler final : public sim::Scheduler {
  private:
   void full_replan(const ProblemView& problem);
   void insert_new_jobs(const ProblemView& problem);
+  void tune_budget(const ProblemView& problem);
 
   OptimizingSchedulerConfig config_;
   util::Rng rng_;
@@ -65,6 +78,12 @@ class OptimizingScheduler final : public sim::Scheduler {
   std::vector<std::uint32_t> window_scratch_;
   std::size_t insertions_since_reopt_ = 0;
   std::size_t replans_ = 0;
+  /// budget=auto calibration state (valid while the queue size stays within
+  /// 2x of tuned_for_n_).
+  std::size_t tuned_sa_iterations_ = 0;
+  std::size_t tuned_ls_evals_ = 0;
+  std::size_t tuned_for_n_ = 0;
+  double probe_sink_ = 0.0;
   std::string last_thought_;
 };
 

@@ -1,8 +1,8 @@
 #include "opt/particle_swarm.hpp"
 
 #include <algorithm>
-
-#include "opt/list_scheduler.hpp"
+#include <stdexcept>
+#include <unordered_map>
 
 namespace reasched::opt {
 
@@ -24,15 +24,57 @@ std::vector<std::pair<std::size_t, std::size_t>> swap_sequence(
   return swaps;
 }
 
+namespace {
+struct OrderHash {
+  std::size_t operator()(const std::vector<std::size_t>& order) const {
+    std::size_t h = 14695981039346656037ull;
+    for (const std::size_t x : order) {
+      h ^= x;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};
+}  // namespace
+
 PsoResult particle_swarm(const ProblemView& problem, std::vector<std::size_t> seed_order,
                          const ObjectiveWeights& weights, const PsoConfig& config,
                          util::Rng& rng) {
+  if (seed_order.size() != problem.n_jobs()) {
+    throw std::invalid_argument("decode_order: order size mismatch");
+  }
   PsoResult best;
   const std::size_t n = seed_order.size();
   best.order = seed_order;
-  best.score = evaluate(decode_order(problem, best.order), weights);
+  IncrementalEvaluator eval(problem, weights, config.eval);
+  eval.set_commit_tracking(false);  // swarms never re-anchor the cache
+  best.score = eval.score(best.order);
   best.evaluations = 1;
-  if (n < 2 || config.particles == 0) return best;
+  if (n < 2 || config.particles == 0) {
+    best.eval = eval.stats();
+    return best;
+  }
+
+  // swap_sequence copies its `from` argument and allocates the position map
+  // and the result on every call - twice per particle per iteration. These
+  // reused buffers compute the identical sequence without the allocations.
+  std::vector<std::size_t> seq_from(n);
+  std::vector<std::size_t> seq_position_of(n);
+  std::vector<std::pair<std::size_t, std::size_t>> seq_swaps;
+  const auto swap_sequence_into = [&](const std::vector<std::size_t>& from,
+                                      const std::vector<std::size_t>& to) {
+    seq_swaps.clear();
+    seq_from = from;
+    for (std::size_t i = 0; i < n; ++i) seq_position_of[seq_from[i]] = i;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (seq_from[i] == to[i]) continue;
+      const std::size_t j = seq_position_of[to[i]];
+      seq_swaps.emplace_back(i, j);
+      seq_position_of[seq_from[i]] = j;
+      seq_position_of[seq_from[j]] = i;
+      std::swap(seq_from[i], seq_from[j]);
+    }
+  };
 
   struct Particle {
     std::vector<std::size_t> position;
@@ -40,9 +82,21 @@ PsoResult particle_swarm(const ProblemView& problem, std::vector<std::size_t> se
     double personal_score;
   };
 
-  auto score_of = [&](const std::vector<std::size_t>& order) {
-    ++best.evaluations;
-    return evaluate(decode_order(problem, order), weights);
+  // Memo over positions (converged swarms re-visit identical permutations).
+  // An entry is either an exact score or, after a cutoff abort, the fact
+  // "score >= value". The memo's key set and the hit/miss sequence are
+  // identical whether or not cutoffs fire (misses always insert), so
+  // `evaluations`/`memo_hits` match the naive evaluation mode bit-for-bit.
+  struct Known {
+    double value;
+    bool exact;
+  };
+  std::unordered_map<std::vector<std::size_t>, Known, OrderHash> memo;
+  memo.emplace(best.order, Known{best.score, true});
+
+  auto exact_score = [&](const std::vector<std::size_t>& order) {
+    return eval.score_with_cutoff(order, IncrementalEvaluator::kNoCutoff, CutoffMode::kGreaterEqual)
+        .value;
   };
 
   std::vector<Particle> swarm;
@@ -50,7 +104,15 @@ PsoResult particle_swarm(const ProblemView& problem, std::vector<std::size_t> se
   for (std::size_t p = 0; p < config.particles; ++p) {
     auto pos = seed_order;
     if (p != 0) rng.shuffle(pos);
-    const double s = score_of(pos);
+    double s;
+    if (const auto it = memo.find(pos); it != memo.end()) {
+      ++best.memo_hits;
+      s = it->second.value;  // init entries are always exact
+    } else {
+      ++best.evaluations;
+      s = exact_score(pos);
+      memo.emplace(pos, Known{s, true});
+    }
     if (s < best.score) {
       best.score = s;
       best.order = pos;
@@ -61,11 +123,13 @@ PsoResult particle_swarm(const ProblemView& problem, std::vector<std::size_t> se
   for (std::size_t iter = 0; iter < config.iterations; ++iter) {
     for (auto& particle : swarm) {
       // Pull toward personal best: apply each corrective swap with prob c1.
-      for (const auto& [i, j] : swap_sequence(particle.position, particle.personal_best)) {
+      swap_sequence_into(particle.position, particle.personal_best);
+      for (const auto& [i, j] : seq_swaps) {
         if (rng.bernoulli(config.c1)) std::swap(particle.position[i], particle.position[j]);
       }
       // Pull toward global best with prob c2.
-      for (const auto& [i, j] : swap_sequence(particle.position, best.order)) {
+      swap_sequence_into(particle.position, best.order);
+      for (const auto& [i, j] : seq_swaps) {
         if (rng.bernoulli(config.c2)) std::swap(particle.position[i], particle.position[j]);
       }
       // Inertia: random exploratory swaps.
@@ -77,7 +141,36 @@ PsoResult particle_swarm(const ProblemView& problem, std::vector<std::size_t> se
         std::swap(particle.position[i], particle.position[j]);
       }
 
-      const double s = score_of(particle.position);
+      // Evaluate against the particle's personal best as the cutoff: the
+      // global best is never above it, so an abort (score >= personal)
+      // rejects both updates - exactly what the full score would decide.
+      bool reject = false;
+      double s = 0.0;
+      if (const auto it = memo.find(particle.position); it != memo.end()) {
+        ++best.memo_hits;
+        if (it->second.exact) {
+          s = it->second.value;
+        } else if (it->second.value >= particle.personal_score) {
+          reject = true;  // memoized bound still clears the new cutoff
+        } else {
+          // Bound is inconclusive against this cutoff; resolve exactly and
+          // upgrade the entry (uncounted: a hit either way).
+          s = exact_score(particle.position);
+          it->second = Known{s, true};
+        }
+      } else {
+        ++best.evaluations;
+        const auto r =
+            eval.score_with_cutoff(particle.position, particle.personal_score,
+                                   CutoffMode::kGreaterEqual);
+        memo.emplace(particle.position, Known{r.value, r.exact});
+        if (r.exact) {
+          s = r.value;
+        } else {
+          reject = true;
+        }
+      }
+      if (reject) continue;
       if (s < particle.personal_score) {
         particle.personal_score = s;
         particle.personal_best = particle.position;
@@ -88,6 +181,7 @@ PsoResult particle_swarm(const ProblemView& problem, std::vector<std::size_t> se
       }
     }
   }
+  best.eval = eval.stats();
   return best;
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "opt/incremental.hpp"
 #include "opt/model.hpp"
 #include "opt/objective.hpp"
 #include "util/rng.hpp"
@@ -20,12 +21,15 @@ struct PsoConfig {
   double c1 = 0.5;       ///< pull toward personal best
   double c2 = 0.5;       ///< pull toward global best
   double inertia = 0.15; ///< random-walk swaps per particle per iteration (expected)
+  EvalPolicy eval;       ///< incremental/cutoff evaluation wiring
 };
 
 struct PsoResult {
   std::vector<std::size_t> order;
   double score = 0.0;
   std::size_t evaluations = 0;
+  std::size_t memo_hits = 0;  ///< duplicate positions served from the memo
+  EvalStats eval;             ///< incremental-evaluation counters
 };
 
 PsoResult particle_swarm(const ProblemView& problem, std::vector<std::size_t> seed_order,

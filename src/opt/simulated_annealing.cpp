@@ -2,21 +2,27 @@
 
 #include <algorithm>
 #include <cmath>
-
-#include "opt/list_scheduler.hpp"
+#include <stdexcept>
 
 namespace reasched::opt {
 
 SaResult simulated_annealing(const ProblemView& problem, std::vector<std::size_t> seed_order,
                              const ObjectiveWeights& weights, const SaConfig& config,
                              util::Rng& rng) {
+  if (seed_order.size() != problem.n_jobs()) {
+    throw std::invalid_argument("decode_order: order size mismatch");
+  }
   SaResult best;
   best.order = seed_order;
-  best.score = evaluate(decode_order(problem, best.order), weights);
+  IncrementalEvaluator eval(problem, weights, config.eval);
+  best.score = eval.score(best.order);
   best.evaluations = 1;
 
   const std::size_t n = seed_order.size();
-  if (n < 2) return best;
+  if (n < 2) {
+    best.eval = eval.stats();
+    return best;
+  }
 
   std::vector<std::size_t> current = std::move(seed_order);
   double current_score = best.score;
@@ -45,10 +51,32 @@ SaResult simulated_annealing(const ProblemView& problem, std::vector<std::size_t
         break;
       }
     }
-    const double score = evaluate(decode_order(problem, candidate), weights);
     ++best.evaluations;
-    const double delta = score - current_score;
-    if (delta <= 0.0 || rng.uniform_real(0.0, 1.0) < std::exp(-delta / temperature)) {
+    // kGreater: an abort proves score > current_score, i.e. delta > 0 - the
+    // branch where the baseline draws its acceptance uniform. Draw it here
+    // too so the RNG stream stays aligned, then reject outright when the
+    // draw already fails the *optimistic* acceptance probability: exp is
+    // monotone, so u >= exp(-(bound-cur)/T) >= exp(-delta/T) rejects under
+    // the exact delta as well. Only the inconclusive window pays for the
+    // exact score.
+    const auto r = eval.score_with_cutoff(candidate, current_score, CutoffMode::kGreater);
+    double score = r.value;
+    bool accept;
+    if (r.exact) {
+      const double delta = score - current_score;
+      accept = delta <= 0.0 || rng.uniform_real(0.0, 1.0) < std::exp(-delta / temperature);
+    } else {
+      const double u = rng.uniform_real(0.0, 1.0);
+      if (u >= std::exp(-(r.value - current_score) / temperature)) {
+        accept = false;
+      } else {
+        // Inconclusive: resolve exactly by finishing the aborted decode from
+        // its snapshot instead of re-decoding the candidate from scratch.
+        score = eval.resume_exact(candidate).value;
+        accept = u < std::exp(-(score - current_score) / temperature);
+      }
+    }
+    if (accept) {
       current = std::move(candidate);
       current_score = score;
       ++best.accepted_moves;
@@ -56,9 +84,13 @@ SaResult simulated_annealing(const ProblemView& problem, std::vector<std::size_t
         best.score = score;
         best.order = current;
       }
+      // Re-anchor the divergence cache on the incumbent: the accepting call
+      // just decoded this exact order to completion, so the adoption is O(1).
+      eval.commit_last();
     }
     temperature = std::max(1e-9, temperature * config.cooling);
   }
+  best.eval = eval.stats();
   return best;
 }
 

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "opt/incremental.hpp"
 #include "opt/model.hpp"
 #include "opt/objective.hpp"
 #include "util/rng.hpp"
@@ -12,6 +13,7 @@ struct SaConfig {
   std::size_t iterations = 4000;
   double initial_temperature = 0.05;  ///< fraction of the seed score
   double cooling = 0.995;             ///< geometric cooling per iteration
+  EvalPolicy eval;                    ///< incremental/cutoff evaluation wiring
 };
 
 struct SaResult {
@@ -19,6 +21,7 @@ struct SaResult {
   double score = 0.0;
   std::size_t accepted_moves = 0;
   std::size_t evaluations = 0;
+  EvalStats eval;  ///< incremental-evaluation counters (cutoff hit rate etc.)
 };
 
 /// Simulated annealing over permutations (swap / insert / block-reverse

@@ -23,8 +23,13 @@ double Rng::uniform_real(double lo, double hi) {
 bool Rng::bernoulli(double p) {
   if (p <= 0.0) return false;
   if (p >= 1.0) return true;
-  std::bernoulli_distribution d(p);
-  return d(engine_);
+  // Decision-identical to std::bernoulli_distribution on this toolchain, at
+  // a fraction of the cost (the swap-sequence solvers draw millions of these
+  // per plan). libstdc++ evaluates generate_canonical<double, 53> as one raw
+  // 64-bit draw scaled by 2^-64 in long double, then rounds to double;
+  // x * 0x1p-64 computes the same value because the 64-bit x is exact in
+  // long double and scaling by a power of two commutes with the rounding.
+  return static_cast<double>(engine_()) * 0x1p-64 < p;
 }
 
 double Rng::gamma(double shape, double scale) {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <random>
 #include <set>
 
 namespace ru = reasched::util;
@@ -65,6 +66,26 @@ TEST(Rng, BernoulliRate) {
   const int n = 20000;
   for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
   EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+// The fast path inside bernoulli() must be decision-identical to the
+// std::bernoulli_distribution it replaced, draw for draw on the same engine
+// state - golden workload and solver streams depend on it. Cloned engines,
+// one per implementation, across the probabilities the solvers actually use
+// plus adversarial ones near 0, 1, and subnormal scale.
+TEST(Rng, BernoulliMatchesStdDistribution) {
+  const double probs[] = {0.5,   0.15,  0.3,  0.7,  1e-3, 1.0 - 1e-3,
+                          0.499, 0.501, 1e-9, 1e-300, 0.25, 0.75};
+  for (const double p : probs) {
+    ru::Rng fast(12345);
+    std::mt19937_64 ref(fast.engine());  // identical start state
+    std::bernoulli_distribution d(p);
+    for (int i = 0; i < 4096; ++i) {
+      ASSERT_EQ(fast.bernoulli(p), d(ref)) << "p=" << p << " draw=" << i;
+    }
+    // The streams must also stay aligned: same number of engine calls.
+    EXPECT_EQ(fast.engine()(), ref());
+  }
 }
 
 TEST(Rng, GammaMeanMatches) {
