@@ -1,5 +1,6 @@
 #include "llm/decision_policy.hpp"
 
+#include "sim/event.hpp"
 #include "sim/planning_window.hpp"
 
 #include <algorithm>
@@ -27,7 +28,7 @@ double compute_shadow(const sim::DecisionContext& ctx, const sim::Job& head) {
   double memory = ctx.cluster.available_memory_gb();
   double t = ctx.now;
   for (const auto& alloc : ctx.running) {
-    if (nodes >= head.nodes && memory + 1e-9 >= head.memory_gb) break;
+    if (nodes >= head.nodes && sim::mem_fits(memory, head.memory_gb)) break;
     nodes += alloc.job.nodes;
     memory += alloc.job.memory_gb;
     t = alloc.end_time;
@@ -165,7 +166,9 @@ PolicyDecision DecisionPolicy::decide(const sim::DecisionContext& ctx, const Pro
     if (a.total != b.total) return a.total > b.total;
     return a.id < b.id;
   };
+  // total-order: by_total breaks score ties by unique JobId.
   std::sort(fitting.begin(), fitting.end(), by_total);
+  // total-order: same comparator.
   std::sort(blocked.begin(), blocked.end(), by_total);
 
   // Hallucinated feasibility: occasionally the model "decides" on a blocked

@@ -78,7 +78,7 @@ std::string parse_provider_response(ProviderKind kind, const std::string& body) 
     case ProviderKind::kOpenAi: {
       // {"choices": [{"message": {"content": "..."}}], ...}
       const auto& choices = doc.at("choices");
-      if (choices.size() == 0) throw std::runtime_error("OpenAI response: empty choices");
+      if (choices.empty()) throw std::runtime_error("OpenAI response: empty choices");
       return choices.at(std::size_t{0}).at("message").at("content").as_string();
     }
   }

@@ -23,8 +23,10 @@ std::string dominant_terms(const CandidateScore& c) {
                   {"throughput", c.throughput},
                   {"utilization", c.utilization},
                   {"makespan", c.makespan}};
-  std::sort(std::begin(terms), std::end(terms),
-            [](const Term& a, const Term& b) { return a.value > b.value; });
+  // Equal weights are possible (e.g. balanced objective presets); stable_sort
+  // pins tied terms to declaration order so the narrated pair is deterministic.
+  std::stable_sort(std::begin(terms), std::end(terms),
+                   [](const Term& a, const Term& b) { return a.value > b.value; });
   return util::format("%s and %s", terms[0].label, terms[1].label);
 }
 

@@ -71,6 +71,7 @@ std::string render_gantt(const sim::ScheduleResult& result, const sim::ClusterSp
   std::vector<const sim::CompletedJob*> rows;
   rows.reserve(result.completed.size());
   for (const auto& c : result.completed) rows.push_back(&c);
+  // total-order: start-time ties broken by unique JobId.
   std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
     if (a->start_time != b->start_time) return a->start_time < b->start_time;
     return a->job.id < b->job.id;
@@ -81,8 +82,11 @@ std::string render_gantt(const sim::ScheduleResult& result, const sim::ClusterSp
                        return a->job.node_seconds() > b->job.node_seconds();
                      });
     rows.resize(options.max_rows);
+    // total-order: start-time ties broken by unique JobId (without the tiebreak
+    // this re-sort ordered tied rows by whatever permutation nth_element left).
     std::sort(rows.begin(), rows.end(), [](const auto* a, const auto* b) {
-      return a->start_time < b->start_time;
+      if (a->start_time != b->start_time) return a->start_time < b->start_time;
+      return a->job.id < b->job.id;
     });
   }
 

@@ -6,6 +6,7 @@ namespace reasched::metrics {
 
 Normalized normalize_value(double method_value, double baseline_value) {
   Normalized n;
+  // LINT-ALLOW(epsilon): zero-magnitude guard before a division, not a closeness test.
   if (std::fabs(baseline_value) < 1e-12) {
     // 0/0 (and x/0) are undefined; the paper omits these comparisons.
     n.defined = false;

@@ -83,6 +83,7 @@ struct Search {
       return x.duration == y.duration && x.nodes == y.nodes && x.memory_gb == y.memory_gb &&
              x.submit_time == y.submit_time;
     };
+    // total-order: attrs_less falls through to the unique problem index.
     std::sort(by_attrs.begin(), by_attrs.end(), attrs_less);
     class_id.resize(n);
     std::size_t classes = 0;

@@ -119,8 +119,11 @@ GaResult genetic_algorithm(const ProblemView& problem, std::vector<std::size_t> 
   };
 
   for (std::size_t gen = 0; gen < config.generations; ++gen) {
-    std::sort(population.begin(), population.end(),
-              [](const Individual& x, const Individual& y) { return x.score < y.score; });
+    // Score ties are common once the memo table collapses duplicate orders;
+    // stable_sort keeps tied individuals in construction order so elite
+    // selection cannot depend on the sort implementation's tie permutation.
+    std::stable_sort(population.begin(), population.end(),
+                     [](const Individual& x, const Individual& y) { return x.score < y.score; });
     if (population.front().score < best.score) {
       best.score = population.front().score;
       best.order = population.front().order;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "opt/list_scheduler.hpp"
+#include "sim/event.hpp"
 
 namespace reasched::opt {
 
@@ -76,7 +77,7 @@ IncrementalEvaluator::IncrementalEvaluator(const ProblemView& problem,
 void IncrementalEvaluator::place(State& s, std::size_t j) {
   const Attr& a = attr_[j];
   double clock = std::max(s.clock, a.release);
-  while (s.free_nodes < a.nodes || s.free_memory + 1e-9 < a.memory_gb) {
+  while (s.free_nodes < a.nodes || !sim::mem_fits(s.free_memory, a.memory_gb)) {
     if (heap_.empty()) {
       throw std::logic_error("decode_order: job never fits (capacity violation upstream)");
     }

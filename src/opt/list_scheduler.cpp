@@ -5,6 +5,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "sim/event.hpp"
+
 namespace reasched::opt {
 
 PlannedSchedule decode_subset(const ProblemView& problem, const std::vector<std::size_t>& order) {
@@ -38,7 +40,7 @@ PlannedSchedule decode_subset(const ProblemView& problem, const std::vector<std:
     // Advance until the job fits; each release strictly increases free
     // resources, so this terminates (validated capacities guarantee fit on
     // the empty cluster).
-    while (free_nodes < job.nodes || free_memory + 1e-9 < job.memory_gb) {
+    while (free_nodes < job.nodes || !sim::mem_fits(free_memory, job.memory_gb)) {
       if (releases.empty()) {
         throw std::logic_error("decode_order: job never fits (capacity violation upstream)");
       }

@@ -160,6 +160,8 @@ bool ClusterState::invariants_hold() const {
     const std::uint32_t slot = by_end_[i];
     nodes += slots_[slot].job.nodes;
     mem += slots_[slot].job.memory_gb;
+    // LINT-ALLOW(epsilon): ledger self-check; absolute slack deliberately exceeds worst-case
+    // accumulated summation drift on GB quantities bounded by cluster totals.
     if (cum_release_nodes_[i] != nodes || std::fabs(cum_release_memory_[i] - mem) > 1e-6) {
       return false;
     }
@@ -172,6 +174,7 @@ bool ClusterState::invariants_hold() const {
   return ordered && by_end_.size() == slot_of_.size() &&
          by_end_.size() + free_slots_.size() == slots_.size() &&
          nodes + available_nodes_ == spec_.total_nodes &&
+         // LINT-ALLOW(epsilon): same ledger self-check slack as above.
          std::fabs(mem + available_memory_gb_ - spec_.total_memory_gb) < 1e-6 &&
          available_nodes_ >= 0 && available_memory_gb_ >= -1e-6;
 }

@@ -242,6 +242,7 @@ ScheduleResult Engine::run(const std::vector<Job>& jobs, Scheduler& scheduler) {
   if (rs.table.n_waiting() > 0 || rs.table.n_ineligible() > 0) {
     throw std::logic_error("Engine: simulation ended with unscheduled jobs (unreachable)");
   }
+  // total-order: unique JobId.
   std::sort(rs.result.completed.begin(), rs.result.completed.end(),
             [](const CompletedJob& a, const CompletedJob& b) { return a.job.id < b.job.id; });
   return std::move(rs.result);

@@ -45,6 +45,15 @@ inline bool tol_leq(double x, double y) {
   return x <= y + std::max(1e-9, std::abs(y) * 1e-12);
 }
 
+/// Memory fit check shared by every decode kernel (list_scheduler,
+/// IncrementalEvaluator) and the decision-policy shadow computation. The
+/// incremental and naive decode paths must stay op-for-op identical, so the
+/// one absolute slack term they share lives here, defined exactly once.
+/// Memory quantities are bounded by cluster totals (~1e4 GB), where 1e-9
+/// stays well above accumulated float drift, so a relative tolerance is not
+/// needed the way it is for simulation *times* (see tol_leq).
+inline bool mem_fits(double free_gb, double need_gb) { return free_gb + 1e-9 >= need_gb; }
+
 /// Strict-weak ordering: earliest time first; completions before arrivals;
 /// then insertion order.
 inline bool event_after(const Event& a, const Event& b) {

@@ -37,6 +37,7 @@ void JobTable::build(const std::vector<Job>& jobs) {
   waiting_by_walltime_.reserve(jobs_.size());
   rank_to_index_.resize(jobs_.size());
   std::iota(rank_to_index_.begin(), rank_to_index_.end(), 0u);
+  // total-order: arrival_order breaks submit-time ties by unique JobId.
   std::sort(rank_to_index_.begin(), rank_to_index_.end(),
             [&](std::uint32_t a, std::uint32_t b) { return arrival_order(jobs_[a], jobs_[b]); });
   rank_of_.resize(jobs_.size());

@@ -29,6 +29,7 @@ bool PlanningWindow::select(const ListView<Job>& waiting, std::vector<std::uint3
   }
   out.resize(top_k - 1);
   out.push_back(0);
+  // total-order: waiting-set positions are distinct indices.
   std::sort(out.begin(), out.end());
   return true;
 }

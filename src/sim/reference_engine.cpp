@@ -95,6 +95,7 @@ void ReferenceEngine::promote_eligible(RunState& rs) {
       ++it;
     }
   }
+  // total-order: arrival_order breaks submit-time ties by unique JobId.
   std::sort(rs.waiting.begin(), rs.waiting.end(), arrival_order);
 }
 
@@ -266,6 +267,7 @@ ScheduleResult ReferenceEngine::run(const std::vector<Job>& jobs, Scheduler& sch
   if (!rs.waiting.empty() || !rs.ineligible.empty()) {
     throw std::logic_error("Engine: simulation ended with unscheduled jobs (unreachable)");
   }
+  // total-order: unique JobId.
   std::sort(rs.result.completed.begin(), rs.result.completed.end(),
             [](const CompletedJob& a, const CompletedJob& b) { return a.job.id < b.job.id; });
   return std::move(rs.result);

@@ -54,6 +54,7 @@ class NodeMap {
       }
       // Restore; the caller commits below.
       for (const int n : nodes) free_[n] = true;
+      // total-order: node indices are distinct ints.
       std::sort(nodes.begin(), nodes.end());
     }
     if (static_cast<int>(nodes.size()) < count) {
@@ -129,6 +130,7 @@ TopologyReport analyze_topology(const ScheduleResult& result, const TopologySpec
     events.push_back({c.start_time, true, &c});
     events.push_back({c.end_time, false, &c});
   }
+  // total-order: (time, kind, unique JobId) - one start and one end per job.
   std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
     if (a.time != b.time) return a.time < b.time;
     if (a.is_start != b.is_start) return !a.is_start;  // completions first

@@ -56,6 +56,8 @@ std::size_t JsonValue::size() const {
   throw std::runtime_error("JsonValue: size() on scalar");
 }
 
+bool JsonValue::empty() const { return size() == 0; }
+
 std::string JsonValue::string_or(const std::string& key, const std::string& fallback) const {
   if (!contains(key)) return fallback;
   const auto& v = at(key);

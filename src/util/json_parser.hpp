@@ -48,6 +48,9 @@ class JsonValue {
   /// Array element access; throws on non-arrays / out of range.
   const JsonValue& at(std::size_t index) const;
   std::size_t size() const;
+  /// True when an array/object has no elements; throws on scalars (same
+  /// contract as size(), and what readability-container-size-empty expects).
+  bool empty() const;
 
   /// Lookup with fallback: returns `fallback` when the path is absent or of
   /// the wrong type (never throws). Convenient for optional provider fields.

@@ -42,6 +42,7 @@ double quantile_sorted(const std::vector<double>& sorted_xs, double q) {
 }
 
 double quantile(std::vector<double> xs, double q) {
+  // total-order: plain doubles; equal values are interchangeable.
   std::sort(xs.begin(), xs.end());
   return quantile_sorted(xs, q);
 }
@@ -52,6 +53,7 @@ BoxStats box_stats(std::vector<double> xs) {
   BoxStats b;
   b.n = xs.size();
   if (xs.empty()) return b;
+  // total-order: plain doubles; equal values are interchangeable.
   std::sort(xs.begin(), xs.end());
   b.min = xs.front();
   b.max = xs.back();

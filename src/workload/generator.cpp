@@ -48,6 +48,7 @@ std::vector<sim::Job> WorkloadGenerator::generate(std::size_t n, std::uint64_t s
     assign_static_arrivals(jobs);
   }
   post_process(jobs, rng);
+  // total-order: arrival_order breaks submit-time ties by unique JobId.
   std::sort(jobs.begin(), jobs.end(), sim::arrival_order);
   return jobs;
 }

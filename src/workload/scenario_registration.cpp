@@ -139,6 +139,7 @@ void register_trace_scenarios(ScenarioRegistry& registry) {
                       const GenerateOptions& options) {
          const StageParamReader params(stage);
          auto jobs = load_jobs(params.require_string("path"));
+         // total-order: arrival_order breaks submit-time ties by unique JobId.
          std::sort(jobs.begin(), jobs.end(), sim::arrival_order);
          const auto cap = static_cast<std::size_t>(params.get_int("max_jobs", 0, 0, 1 << 30));
          truncate_and_renumber(jobs, cap > 0 ? cap : n);

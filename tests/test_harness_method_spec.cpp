@@ -117,6 +117,30 @@ TEST(MethodRegistry, ListsAllBuiltinMethods) {
   }
 }
 
+TEST(MethodRegistry, ListingIsSortedCanonicalOrder) {
+  // --list-methods output is part of the CI smoke contract: emitted in
+  // sorted canonical-name order, independent of registration or hash order,
+  // so diffs of captured listings are stable across link order changes.
+  const auto names = rh::MethodRegistry::instance().names();
+  EXPECT_FALSE(names.empty());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+
+  // describe()'s top-level (non-indented) entries appear in that same order.
+  const std::string listing = rh::MethodRegistry::instance().describe();
+  std::vector<std::string> top_level;
+  std::size_t pos = 0;
+  while (pos < listing.size()) {
+    const std::size_t eol = listing.find('\n', pos);
+    const std::string line = listing.substr(pos, eol - pos);
+    if (!line.empty() && line[0] != ' ') {
+      top_level.push_back(line.substr(0, line.find(' ')));
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  EXPECT_EQ(top_level, names);
+}
+
 TEST(MethodRegistry, FrozenAfterFirstLookup) {
   // Reads are lock-free and the sweep layer reads from worker threads, so
   // registration is startup-only: the first lookup freezes the registry and

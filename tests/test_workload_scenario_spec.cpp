@@ -42,6 +42,34 @@ std::string temp_path(const std::string& filename) {
 
 }  // namespace
 
+TEST(ScenarioRegistry, ListingIsSortedCanonicalOrder) {
+  // Mirror of the method-axis guarantee: --list-scenarios emits bases and
+  // transforms in sorted canonical order, independent of registration order.
+  auto& registry = rw::ScenarioRegistry::instance();
+  const auto names = registry.names();
+  const auto transforms = registry.transform_names();
+  EXPECT_FALSE(names.empty());
+  EXPECT_FALSE(transforms.empty());
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_TRUE(std::is_sorted(transforms.begin(), transforms.end()));
+  // Every registered base appears in describe() before any transform, in
+  // sorted order (the listing has a bases section then a transforms one).
+  const std::string listing = registry.describe();
+  std::size_t last = 0;
+  for (const auto& name : names) {
+    const std::size_t at = listing.find("  " + name);
+    ASSERT_NE(at, std::string::npos) << name;
+    EXPECT_GE(at, last) << name << " listed out of order";
+    last = at;
+  }
+  for (const auto& name : transforms) {
+    const std::size_t at = listing.find("  " + name, last);
+    ASSERT_NE(at, std::string::npos) << name;
+    EXPECT_GE(at, last) << name << " listed out of order";
+    last = at;
+  }
+}
+
 TEST(ScenarioSpec, SharedGrammarCases) {
   reasched::testing::SpecGrammarApi api;
   api.parse_ok = [](const std::string& s) { rw::ScenarioSpec::parse(s); };

@@ -1,0 +1,522 @@
+#!/usr/bin/env python3
+"""Repo-specific determinism & concurrency invariant linter.
+
+Every result in this repo rests on bit-identical determinism: golden decision
+traces, seed-derived RNG streams, and paper-mode LLM-vs-heuristic comparisons
+are only meaningful if no wall-clock read, unordered-container iteration or
+libstdc++ distribution leaks into a decision path. This tool machine-checks
+the rules the codebase already lives by (see ARCHITECTURE.md, "Determinism
+invariants"):
+
+  wallclock       no std::chrono::{system,steady,high_resolution}_clock,
+                  time()/clock()/gettimeofday, std::random_device or
+                  std::rand outside the allowlist (llm/http_client is the
+                  real-API boundary; optimizing_scheduler timing blocks carry
+                  inline LINT-ALLOWs; bench/ measures wall time by design).
+  distribution    no std::*_distribution / std::shuffle / std::sample outside
+                  util/rng: libstdc++'s draw algorithms are not pinned by the
+                  standard, so every distribution the results depend on is
+                  hand-rolled once in util::Rng and golden-tested.
+  unordered-iter  no range-for / iterator loop over std::unordered_{map,set}:
+                  iteration order is hash/libc++-dependent, so anything
+                  aggregated, exported or decided from it is nondeterministic.
+                  Look up per key, or copy keys out and sort.
+  sort-order      std::sort over a range whose comparator admits ties is an
+                  unspecified permutation. Use std::stable_sort, or assert
+                  tie-freedom with a `// total-order: <why>` comment.
+  epsilon         no absolute `< 1e-N` float compares outside util/sim
+                  tolerance helpers: absolute epsilons silently stop working
+                  at large magnitudes (PR 2/6 replaced several). Use the
+                  relative tol_* helpers.
+
+Escape hatch: `// LINT-ALLOW(rule): reason` on the offending line or the line
+above suppresses that rule there. The reason is mandatory and an allow that
+suppresses nothing is itself an error, so stale or unexplained allows fail CI.
+
+Usage:
+  determinism_lint.py --src-root src                  # lint a tree
+  determinism_lint.py --compile-commands build/compile_commands.json
+  determinism_lint.py file.cpp [file2.cpp ...]        # explicit files
+  determinism_lint.py --list-rules
+
+Exit status: 0 clean, 1 findings, 2 usage error. Stdlib-only (no libclang):
+a comment/string-aware lexer plus rule-specific token scans, which is exactly
+as much parsing as these rules need and keeps the tool dependency-free.
+"""
+
+import argparse
+import json
+import os
+import re
+import sys
+
+RULES = {
+    "wallclock": "wall-clock / entropy source outside the allowlist",
+    "distribution": "std random distribution/shuffle outside util/rng",
+    "unordered-iter": "iteration over std::unordered_{map,set}",
+    "sort-order": "std::sort without stable_sort or total-order assertion",
+    "epsilon": "absolute epsilon float compare outside tolerance helpers",
+    "lint-allow": "malformed or unused LINT-ALLOW",
+}
+
+# Path-prefix allowlists, relative to the repo root (forward slashes). A rule
+# listed here is simply not applied under the prefix; use inline LINT-ALLOW
+# for sub-file granularity (e.g. one timing block inside a decision module).
+PATH_ALLOW = {
+    "wallclock": [
+        "src/llm/http_client.",  # real-API boundary: HTTP latency is wall time
+        "bench/",  # benches measure wall time by design
+        "tools/",
+        "tests/",
+    ],
+    "distribution": [
+        "src/util/rng.",  # the one sanctioned wrapper over std <random>
+        "tests/",  # differential tests compare Rng vs std streams
+    ],
+    "unordered-iter": [],
+    "sort-order": ["bench/", "tools/"],
+    "epsilon": [
+        "src/util/",  # tolerance helpers and stats kernels live here
+        "src/sim/event.hpp",  # tol_leq / tol_eq definitions
+        "tests/",
+        "bench/",
+    ],
+}
+
+ALLOW_RE = re.compile(r"LINT-ALLOW\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
+TOTAL_ORDER_TOKEN = "total-order"
+
+# ---------------------------------------------------------------------------
+# Lexer: split each line into (code, comment) with string/char literals
+# blanked out of the code channel. Handles //, /* */, "...", '...', and
+# R"delim(...)delim" raw strings well enough for this codebase.
+
+
+def strip_code_and_comments(text):
+    """Return (code_lines, comment_lines): per-line code with comments and
+    literal contents replaced by spaces, and per-line comment text."""
+    code = []
+    comments = []
+    cur_code = []
+    cur_comment = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_terminator = ""
+
+    def endline():
+        code.append("".join(cur_code))
+        comments.append("".join(cur_comment))
+        cur_code.clear()
+        cur_comment.clear()
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            if state == "line_comment":
+                state = "code"
+            endline()
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                cur_code.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s"]*)\(', text[i:])
+                if m:
+                    raw_terminator = ")" + m.group(1) + '"'
+                    state = "raw"
+                    cur_code.append('"')
+                    i += m.end()
+                    continue
+            if c == '"':
+                state = "string"
+                cur_code.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                cur_code.append("'")
+                i += 1
+                continue
+            cur_code.append(c)
+            i += 1
+        elif state == "line_comment":
+            cur_comment.append(c)
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                cur_code.append("  ")
+                i += 2
+            else:
+                cur_comment.append(c)
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                cur_code.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                cur_code.append('"')
+                i += 1
+            else:
+                cur_code.append(" ")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                cur_code.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                cur_code.append("'")
+                i += 1
+            else:
+                cur_code.append(" ")
+                i += 1
+        elif state == "raw":
+            if text.startswith(raw_terminator, i):
+                state = "code"
+                cur_code.append('"')
+                i += len(raw_terminator)
+            else:
+                cur_code.append(" " if c != "\n" else c)
+                i += 1
+    endline()
+    return code, comments
+
+
+# ---------------------------------------------------------------------------
+# Rule scanners. Each yields (line_index, rule, message).
+
+WALLCLOCK_RES = [
+    (re.compile(r"\bstd\s*::\s*chrono\s*::\s*(system|steady|high_resolution)_clock\b"),
+     "std::chrono::{}_clock read"),
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device is nondeterministic entropy"),
+    (re.compile(r"\bstd\s*::\s*s?rand\b|(?<![\w:])s?rand\s*\("), "C rand/srand"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(nullptr|NULL|0|&)"), "C time() wall-clock read"),
+    (re.compile(r"\b(gettimeofday|clock_gettime|timespec_get)\s*\("), "{} wall-clock read"),
+    (re.compile(r"(?<![\w:.])clock\s*\(\s*\)"), "C clock() read"),
+]
+
+DISTRIBUTION_RE = re.compile(
+    r"\bstd\s*::\s*(\w+_distribution)\b|\bstd\s*::\s*(shuffle|sample)\b")
+
+SORT_RE = re.compile(r"\bstd\s*::\s*sort\s*\(")
+
+# A comparison against an absolute epsilon literal, either side: `x < 1e-9`,
+# `1e-9 > x`, `fabs(a-b) <= 1.5e-12`, ...
+EPSILON_RES = [
+    re.compile(r"[<>]=?\s*\d+(?:\.\d+)?[eE]-\d+"),
+    re.compile(r"\b\d+(?:\.\d+)?[eE]-\d+\s*[<>]=?"),
+]
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+USING_ALIAS_RE = re.compile(r"\b(?:using|typedef)\s+(\w+)\s*=")
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+def match_angle(code, start):
+    """code[start] == '<'; return index one past the matching '>'."""
+    depth = 0
+    i = start
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{":
+            return i  # malformed / operator<; bail out
+        i += 1
+    return n
+
+
+def unordered_names(code_text):
+    """Names (variables, members, aliases) declared with an unordered type."""
+    names = set()
+    aliases = set()
+    for m in UNORDERED_DECL_RE.finditer(code_text):
+        open_angle = code_text.index("<", m.start())
+        end = match_angle(code_text, open_angle)
+        # `using Foo = std::unordered_map<...>;` declares an alias type.
+        line_start = code_text.rfind("\n", 0, m.start()) + 1
+        prefix = code_text[line_start:m.start()]
+        am = USING_ALIAS_RE.search(prefix)
+        if am:
+            aliases.add(am.group(1))
+            continue
+        tail = code_text[end:]
+        im = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*[;{=(,)]", tail)
+        if im:
+            names.add(im.group(1))
+    if aliases:
+        alias_decl = re.compile(
+            r"\b(" + "|".join(re.escape(a) for a in aliases) + r")\s+([A-Za-z_]\w*)\s*[;{=(]")
+        for m in alias_decl.finditer(code_text):
+            names.add(m.group(2))
+    return names
+
+
+def range_for_heads(code_text):
+    """Yield (offset, decl, range_expr) for every range-based for head."""
+    for m in re.finditer(r"\bfor\s*\(", code_text):
+        start = m.end() - 1
+        depth = 0
+        i = start
+        n = len(code_text)
+        while i < n:
+            c = code_text[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        head = code_text[start + 1:i]
+        if ";" in head:
+            continue  # classic for
+        # Find the top-level ':' separator (skip '::' and bracket nests).
+        d_par = d_ang = d_brk = 0
+        sep = -1
+        j = 0
+        while j < len(head):
+            c = head[j]
+            if c == "(":
+                d_par += 1
+            elif c == ")":
+                d_par -= 1
+            elif c == "[":
+                d_brk += 1
+            elif c == "]":
+                d_brk -= 1
+            elif c == "<":
+                d_ang += 1
+            elif c == ">":
+                d_ang = max(0, d_ang - 1)
+            elif c == ":":
+                if j + 1 < len(head) and head[j + 1] == ":":
+                    j += 2
+                    continue
+                if d_par == d_ang == d_brk == 0:
+                    sep = j
+                    break
+            j += 1
+        if sep < 0:
+            continue
+        yield m.start(), head[:sep], head[sep + 1:]
+
+
+def scan_file(path, rel, args):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    code_lines, comment_lines = strip_code_and_comments(text)
+    code_text = "\n".join(code_lines)
+
+    def line_of(offset):
+        return code_text.count("\n", 0, offset)
+
+    findings = []  # (line_idx, rule, message)
+
+    def applies(rule):
+        return not any(rel.startswith(p) for p in PATH_ALLOW.get(rule, []))
+
+    if applies("wallclock"):
+        for idx, line in enumerate(code_lines):
+            for rx, msg in WALLCLOCK_RES:
+                m = rx.search(line)
+                if m:
+                    findings.append((idx, "wallclock",
+                                     msg.format(m.group(1) if m.groups() and m.group(1) else "")))
+    if applies("distribution"):
+        for idx, line in enumerate(code_lines):
+            m = DISTRIBUTION_RE.search(line)
+            if m:
+                what = m.group(1) or m.group(2)
+                findings.append((idx, "distribution",
+                                 f"std::{what} outside util/rng (draw algorithm is not pinned "
+                                 "by the standard; use util::Rng)"))
+    if applies("unordered-iter"):
+        names = unordered_names(code_text)
+        if names:
+            word = re.compile(r"\b(" + "|".join(re.escape(x) for x in sorted(names)) + r")\b")
+            for offset, _decl, range_expr in range_for_heads(code_text):
+                m = word.search(range_expr)
+                if m:
+                    findings.append((line_of(offset), "unordered-iter",
+                                     f"range-for over unordered container '{m.group(1)}' "
+                                     "(iteration order is hash-dependent; copy keys out and "
+                                     "sort, or look up per key)"))
+            iter_loop = re.compile(
+                r"=\s*(" + "|".join(re.escape(x) for x in sorted(names)) +
+                r")\s*\.\s*c?begin\s*\(")
+            for m in iter_loop.finditer(code_text):
+                findings.append((line_of(m.start()), "unordered-iter",
+                                 f"iterator loop over unordered container '{m.group(1)}' "
+                                 "(iteration order is hash-dependent)"))
+    if applies("sort-order"):
+        for idx, line in enumerate(code_lines):
+            if SORT_RE.search(line):
+                window = " ".join(comment_lines[max(0, idx - 3):idx + 1])
+                if TOTAL_ORDER_TOKEN not in window:
+                    findings.append((idx, "sort-order",
+                                     "std::sort: ties produce an unspecified permutation; use "
+                                     "std::stable_sort or assert tie-freedom with a "
+                                     "'// total-order: <why>' comment"))
+    if applies("epsilon"):
+        for idx, line in enumerate(code_lines):
+            if any(rx.search(line) for rx in EPSILON_RES):
+                findings.append((idx, "epsilon",
+                                 "absolute epsilon compare: breaks at large magnitudes; use the "
+                                 "relative tolerance helpers (sim/event.hpp, util)"))
+
+    # LINT-ALLOW processing: an allow suppresses its rule on its own line and
+    # on the next line that contains code (a multi-line explanation comment
+    # may sit between the allow and the statement it covers). Allows must
+    # carry a reason and must suppress something.
+    def allow_targets(idx):
+        targets = {idx}
+        for j in range(idx + 1, min(idx + 8, len(code_lines))):
+            if code_lines[j].strip():
+                targets.add(j)
+                break
+        return targets
+
+    allows = {}  # (line_idx, rule) -> [used]
+    for idx, comment in enumerate(comment_lines):
+        for m in ALLOW_RE.finditer(comment):
+            rule, reason = m.group(1), m.group(2)
+            if rule not in RULES or rule == "lint-allow":
+                findings.append((idx, "lint-allow", f"unknown rule '{rule}' in LINT-ALLOW"))
+                continue
+            if not reason or not reason.strip():
+                findings.append((idx, "lint-allow",
+                                 f"LINT-ALLOW({rule}) without a reason; write "
+                                 f"'LINT-ALLOW({rule}): <why this site is exempt>'"))
+                # Still suppress the target rule: the actionable diagnostic is
+                # the missing reason, not a duplicate report of the finding.
+                # Mark pre-used so it cannot also count as stale.
+                allows[(idx, rule)] = [True]
+                continue
+            allows[(idx, rule)] = [False]
+
+    covered = {}  # (target_line, rule) -> allow entry
+    for (idx, rule), entry in allows.items():
+        for target in allow_targets(idx):
+            covered.setdefault((target, rule), entry)
+
+    kept = []
+    for idx, rule, msg in findings:
+        entry = covered.get((idx, rule))
+        if entry is not None:
+            entry[0] = True
+        else:
+            kept.append((idx, rule, msg))
+    for (idx, rule), entry in sorted(allows.items()):
+        if not entry[0]:
+            kept.append((idx, "lint-allow",
+                         f"unused LINT-ALLOW({rule}): nothing on this or the next line "
+                         "triggers that rule; remove the stale allow"))
+
+    if args.rules:
+        kept = [k for k in kept if k[1] in args.rules]
+    return [(idx + 1, rule, msg) for idx, rule, msg in sorted(kept)]
+
+
+# ---------------------------------------------------------------------------
+
+
+def collect_files(args, root):
+    exts = (".cpp", ".hpp", ".cc", ".h", ".cxx", ".hxx")
+    files = []
+    if args.files:
+        files = [os.path.abspath(f) for f in args.files]
+    elif args.compile_commands:
+        with open(args.compile_commands, encoding="utf-8") as f:
+            db = json.load(f)
+        seen = set()
+        for entry in db:
+            p = os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+            if p not in seen:
+                seen.add(p)
+                files.append(p)
+        # Headers do not appear in the database; lint the tree's headers too.
+        for dirpath, _dirs, names in os.walk(os.path.join(root, "src")):
+            for name in names:
+                if name.endswith((".hpp", ".h", ".hxx")):
+                    p = os.path.abspath(os.path.join(dirpath, name))
+                    if p not in seen:
+                        seen.add(p)
+                        files.append(p)
+        if not args.all:
+            files = [f for f in files
+                     if os.path.relpath(f, root).replace(os.sep, "/").startswith("src/")]
+    else:
+        scan_root = os.path.join(root, args.src_root)
+        for dirpath, _dirs, names in os.walk(scan_root):
+            for name in names:
+                if name.endswith(exts):
+                    files.append(os.path.abspath(os.path.join(dirpath, name)))
+    return sorted(files)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="*", help="explicit files to lint")
+    ap.add_argument("--compile-commands", help="path to compile_commands.json")
+    ap.add_argument("--src-root", default=None, help="lint every C++ file under this tree")
+    ap.add_argument("--root", default=None,
+                    help="repo root for allowlist-relative paths (default: auto-detect)")
+    ap.add_argument("--all", action="store_true",
+                    help="with --compile-commands, lint bench/tests/examples too")
+    ap.add_argument("--rule", dest="rules", action="append",
+                    help="restrict to RULE (repeatable); default: all rules")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule, doc in sorted(RULES.items()):
+            print(f"{rule:16s} {doc}")
+        return 0
+    if args.rules:
+        unknown = [r for r in args.rules if r not in RULES]
+        if unknown:
+            print(f"unknown rule(s): {', '.join(unknown)}", file=sys.stderr)
+            return 2
+    if not args.files and not args.compile_commands and not args.src_root:
+        ap.print_usage(sys.stderr)
+        print("need files, --compile-commands or --src-root", file=sys.stderr)
+        return 2
+
+    root = os.path.abspath(args.root) if args.root else os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+    n_findings = 0
+    files = collect_files(args, root)
+    for path in files:
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        for line, rule, msg in scan_file(path, rel, args):
+            print(f"{rel}:{line}: [{rule}] {msg}")
+            n_findings += 1
+    if n_findings:
+        print(f"\n{n_findings} finding(s) across {len(files)} file(s); "
+              "see tools/lint/determinism_lint.py --list-rules", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

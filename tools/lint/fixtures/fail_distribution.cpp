@@ -1,0 +1,14 @@
+// must-fail: distribution — libstdc++ draw algorithms are not pinned by the
+// standard; all distributions must go through util::Rng.
+#include <algorithm>
+#include <random>
+#include <vector>
+
+int draw(std::mt19937_64& engine) {
+  std::uniform_int_distribution<int> d(0, 10);
+  return d(engine);
+}
+
+void scramble(std::vector<int>& v, std::mt19937_64& engine) {
+  std::shuffle(v.begin(), v.end(), engine);
+}

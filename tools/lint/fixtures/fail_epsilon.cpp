@@ -1,0 +1,7 @@
+// must-fail: epsilon — absolute epsilons silently stop working once values
+// outgrow them (one ulp at 1e7 s is already ~2e-9).
+#include <cmath>
+
+bool times_equal(double a, double b) { return std::fabs(a - b) < 1e-9; }
+
+bool fits(double free_gb, double need_gb) { return need_gb <= free_gb + 1e-6; }

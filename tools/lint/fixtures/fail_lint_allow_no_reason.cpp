@@ -1,0 +1,9 @@
+// must-fail: lint-allow — an allow without a reason is unexplained; CI
+// requires every escape hatch to say why the site is exempt.
+#include <chrono>
+
+double now_s() {
+  // LINT-ALLOW(wallclock)
+  return std::chrono::duration<double>(std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}

@@ -1,0 +1,5 @@
+// must-fail: lint-allow — a stale allow that suppresses nothing must be
+// removed, otherwise escapes accumulate and rot.
+
+// LINT-ALLOW(wallclock): this function used to read the clock before v2.
+double now_s() { return 0.0; }

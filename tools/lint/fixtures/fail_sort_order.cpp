@@ -1,0 +1,13 @@
+// must-fail: sort-order — comparator admits ties, so std::sort yields an
+// unspecified permutation of equal keys.
+#include <algorithm>
+#include <vector>
+
+struct Row {
+  double key;
+  int payload;
+};
+
+void order_rows(std::vector<Row>& rows) {
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) { return a.key < b.key; });
+}

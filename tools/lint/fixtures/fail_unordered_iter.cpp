@@ -1,0 +1,16 @@
+// must-fail: unordered-iter — iteration order over a hash container is
+// implementation-defined; anything reduced from it is nondeterministic.
+#include <string>
+#include <unordered_map>
+
+struct Aggregator {
+  std::unordered_map<int, double> totals_;
+
+  double reduce() const {
+    double sum = 0.0;
+    for (const auto& [id, value] : totals_) {
+      sum = sum * 0.5 + value;  // order-dependent reduction
+    }
+    return sum;
+  }
+};

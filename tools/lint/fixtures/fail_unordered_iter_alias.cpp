@@ -1,0 +1,14 @@
+// must-fail: unordered-iter — the alias and explicit-iterator forms.
+#include <unordered_set>
+
+using IdSet = std::unordered_set<int>;
+
+int first_id(const IdSet& make) {
+  IdSet ids = make;
+  int out = -1;
+  for (auto it = ids.begin(); it != ids.end(); ++it) {
+    out = *it;
+    break;  // "first" element of a hash set: implementation-defined
+  }
+  return out;
+}

@@ -1,0 +1,8 @@
+// must-fail: wallclock — a wall-clock read in a decision path makes results
+// depend on the machine, not the seed.
+#include <chrono>
+
+double elapsed_since_epoch() {
+  const auto now = std::chrono::system_clock::now();
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -1,0 +1,10 @@
+// must-fail: wallclock — nondeterministic entropy sources.
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+unsigned nondeterministic_seed() {
+  std::random_device rd;
+  std::srand(static_cast<unsigned>(time(nullptr)));
+  return rd() + static_cast<unsigned>(std::rand());
+}

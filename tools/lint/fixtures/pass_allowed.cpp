@@ -1,0 +1,31 @@
+// must-pass: every rule suppressed through the sanctioned escape hatch, each
+// with a reason — the linter accepts these and flags none.
+#include <chrono>
+#include <cmath>
+#include <random>
+#include <unordered_map>
+
+double probe_elapsed() {
+  // LINT-ALLOW(wallclock): calibration probe; the measurement is the point.
+  const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t0.time_since_epoch()).count();
+}
+
+double std_reference_draw(std::mt19937_64& engine) {
+  // LINT-ALLOW(distribution): differential test comparing util::Rng vs std.
+  std::normal_distribution<double> d(0.0, 1.0);
+  return d(engine);
+}
+
+double commutative_reduce(const std::unordered_map<int, double>& totals) {
+  double sum = 0.0;
+  // LINT-ALLOW(unordered-iter): plain sum is order-insensitive up to float
+  // association; this value is diagnostic-only and never exported.
+  for (const auto& [id, value] : totals) sum += value;
+  return sum;
+}
+
+bool zero_guard(double denom) {
+  // LINT-ALLOW(epsilon): zero-magnitude guard before division.
+  return std::fabs(denom) < 1e-12;
+}

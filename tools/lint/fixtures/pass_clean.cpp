@@ -1,0 +1,41 @@
+// must-pass: the determinism-correct spellings of everything the rules flag.
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+struct Row {
+  double key;
+  int id;
+};
+
+void order_rows(std::vector<Row>& rows) {
+  // stable_sort needs no total-order proof: tied keys keep insertion order.
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const Row& a, const Row& b) { return a.key < b.key; });
+  // total-order: key ties broken by unique id.
+  std::sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.key != b.key ? a.key < b.key : a.id < b.id;
+  });
+}
+
+struct Aggregator {
+  std::unordered_map<int, double> totals_;  // lookups only: fine
+  std::map<int, double> ordered_;
+
+  double lookup(int id) const {
+    const auto it = totals_.find(id);
+    return it == totals_.end() ? 0.0 : it->second;
+  }
+
+  double reduce() const {
+    double sum = 0.0;
+    for (const auto& [id, value] : ordered_) sum = sum * 0.5 + value;
+    return sum;
+  }
+};
+
+bool tol_leq_local(double x, double y) {
+  // Relative tolerance: scales with magnitude instead of breaking at it.
+  return x <= y + std::max(1e-9, (y < 0 ? -y : y) * 1e-12);
+}

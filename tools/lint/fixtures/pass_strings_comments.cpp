@@ -1,0 +1,15 @@
+// must-pass: forbidden tokens inside comments, strings and raw strings are
+// text, not code — the lexer must not flag them.
+//
+// Historical note: this file once used std::random_device and std::shuffle,
+// iterated an unordered_map, and compared against 1e-9 via std::sort.
+#include <string>
+
+/* block comment: std::chrono::steady_clock::now(), time(nullptr) */
+
+std::string docs() {
+  std::string s = "call std::rand or std::uniform_int_distribution<int> here";
+  s += R"(for (auto& kv : unordered_things_) { if (x < 1e-12) std::sort(v); })";
+  s += 'c';
+  return s;
+}

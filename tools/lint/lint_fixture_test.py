@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Fixture suite for determinism_lint.py, run as a ctest (label: lint).
+
+Contract, encoded in fixture file names:
+  fixtures/fail_<rule>[_variant].cpp  must trigger >= 1 finding, and every
+                                      finding must be of exactly <rule>
+  fixtures/pass_*.cpp                 must be completely clean
+
+So a rule that stops firing breaks its must-fail fixture, and a rule that
+starts over-firing breaks the must-pass set (or another rule's must-fail
+set) — rule regressions fail like any other test.
+
+The linter is invoked with --root pointing *at* the fixture directory so the
+repo's path allowlists (tools/, bench/, ...) cannot mask fixture findings.
+"""
+
+import os
+import re
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINTER = os.path.join(HERE, "determinism_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+FINDING_RE = re.compile(r"^[^:]+:\d+: \[([a-z-]+)\] ")
+
+
+def run_linter(path):
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--root", FIXTURES, path],
+        capture_output=True, text=True, check=False)
+    rules = []
+    for line in proc.stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m:
+            rules.append(m.group(1))
+    return proc.returncode, rules, proc.stdout
+
+
+def main():
+    failures = []
+    checked = 0
+    names = sorted(os.listdir(FIXTURES))
+    if not any(n.startswith("fail_") for n in names) or \
+       not any(n.startswith("pass_") for n in names):
+        print("FAIL: fixture directory is missing fail_/pass_ cases")
+        return 1
+    for name in names:
+        if not name.endswith(".cpp"):
+            continue
+        path = os.path.join(FIXTURES, name)
+        rc, rules, out = run_linter(path)
+        checked += 1
+        if name.startswith("pass_"):
+            if rc != 0 or rules:
+                failures.append(f"{name}: expected clean, got rc={rc}:\n{out}")
+        elif name.startswith("fail_"):
+            expected = None
+            for rule in ("lint-allow", "wallclock", "distribution",
+                         "unordered-iter", "sort-order", "epsilon"):
+                if name.startswith("fail_" + rule.replace("-", "_")):
+                    expected = rule
+                    break
+            if expected is None:
+                failures.append(f"{name}: cannot derive expected rule from file name")
+                continue
+            if rc != 1 or not rules:
+                failures.append(f"{name}: expected >=1 [{expected}] finding, got rc={rc}:\n{out}")
+            elif set(rules) != {expected}:
+                failures.append(
+                    f"{name}: expected only [{expected}], got {sorted(set(rules))}:\n{out}")
+        else:
+            failures.append(f"{name}: fixture names must start with pass_ or fail_")
+    for f in failures:
+        print("FAIL:", f)
+    print(f"{checked - len(failures)}/{checked} fixtures behaved as named")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
