@@ -1,0 +1,130 @@
+// Sustained-load service-mode bench: steady-state throughput of the online
+// ServiceEngine - an ArrivalStream feeding 10^4+ jobs through the live
+// submit/advance path (buffer admission, stream pumping, event stepping)
+// instead of one batch load. This is the service analogue of
+// micro_engine_scaling and the profiling harness for the backfill
+// candidate-descent question: `homog_short` at a high rate_scale is exactly
+// the pathological homogeneous backlog where the descent's subtree pruning
+// has the least to cut, so comparing easy against fcfs (no descent) under
+// identical sustained overload bounds what the descent costs in practice.
+//
+//   ./bench/service_sustained_load [--jobs 10000] [--batch 1000]
+//       [--methods fcfs,sjf,easy] [--scenarios homog_short,bursty_idle]
+//       [--rate 64] [--advances 200] [--seed 12345] [--json out.json]
+//
+// --rate scales arrival density (gaps divided by rate): high rates keep a
+// deep waiting queue throughout, which is the sustained-load regime. The
+// clock is advanced in --advances equal slices of the arrival span before a
+// final drain, so stream pumping and buffer flushing run interleaved with
+// event stepping the way a live RJMS session drives them.
+//
+// --json records `service/<scenario>/<method>/jobsN/jobs_per_s` for the CI
+// bench-regression gate (tools/compare_bench.py --gate-suffix jobs_per_s);
+// peak queue depth and decisions/sec ride along as informational metrics.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "service/service_engine.hpp"
+#include "util/cli.hpp"
+#include "util/string_utils.hpp"
+#include "util/table.hpp"
+
+using namespace reasched;
+
+namespace {
+
+struct RunStats {
+  double elapsed_s = 0.0;
+  double jobs_per_s = 0.0;
+  double dec_per_s = 0.0;
+  std::size_t completed = 0;
+  std::size_t decisions = 0;
+  std::size_t peak_waiting = 0;
+  double makespan = 0.0;
+};
+
+RunStats run_sustained(const std::string& method, const std::string& scenario,
+                       std::size_t jobs, std::size_t batch, double rate,
+                       std::size_t advances, std::uint64_t seed) {
+  service::ServiceConfig config;
+  config.method = harness::MethodSpec::parse(method);
+  config.seed = seed;
+  config.engine.record_traces = false;  // isolate scheduling cost
+  const std::size_t batches = (jobs + batch - 1) / batch;
+  config.stream = workload::make_stream_spec(scenario, batch, batches, rate);
+
+  // Probe the arrival span once so the advance slices cover the whole
+  // stream; the probe stream is independent of the session's.
+  double span = 0.0;
+  {
+    workload::ArrivalStream probe(config.stream, util::derive_seed(seed, "stream"), {});
+    while (!probe.exhausted()) span = probe.pop().submit_time;
+  }
+
+  service::ServiceEngine engine(config);
+  RunStats stats;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t i = 1; i <= advances; ++i) {
+    engine.advance_to(span * static_cast<double>(i) / static_cast<double>(advances));
+    const std::size_t waiting = engine.status().n_waiting;
+    if (waiting > stats.peak_waiting) stats.peak_waiting = waiting;
+  }
+  const service::DrainResult result = engine.drain();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  stats.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+  stats.completed = result.schedule.completed.size();
+  stats.decisions = result.schedule.n_decisions;
+  stats.jobs_per_s = static_cast<double>(stats.completed) / stats.elapsed_s;
+  stats.dec_per_s = static_cast<double>(stats.decisions) / stats.elapsed_s;
+  stats.makespan = result.metrics.makespan;
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::CliArgs args(argc, argv);
+  const auto jobs = static_cast<std::size_t>(args.get_int("jobs", 10000));
+  const auto batch = static_cast<std::size_t>(args.get_int("batch", 1000));
+  const auto advances = static_cast<std::size_t>(args.get_int("advances", 200));
+  const double rate = args.get_double("rate", 64.0);
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 12345));
+  const std::string json_path = args.get("json", "");
+  bench::BenchJson json;
+
+  std::vector<std::string> methods = util::split(args.get("methods", "fcfs,sjf,easy"), ',');
+  std::vector<std::string> scenarios =
+      util::split(args.get("scenarios", "homog_short,bursty_idle"), ',');
+
+  bench::print_header(
+      "Service sustained load",
+      "Online ServiceEngine throughput under a rate-scaled arrival stream\n"
+      "(live submit/advance/drain path; jobs/s is the gated figure).");
+  std::printf("jobs=%zu batch=%zu rate=%.0fx advances=%zu seed=%llu\n\n", jobs, batch, rate,
+              advances, static_cast<unsigned long long>(seed));
+
+  for (const std::string& scenario : scenarios) {
+    util::TextTable table({"method", "jobs/s", "dec/s", "decisions", "peak wait", "wall (s)"});
+    for (const std::string& method : methods) {
+      const RunStats s = run_sustained(method, scenario, jobs, batch, rate, advances, seed);
+      table.add_row({method, util::TextTable::num(s.jobs_per_s, 0),
+                     util::TextTable::num(s.dec_per_s, 0), std::to_string(s.decisions),
+                     std::to_string(s.peak_waiting), util::TextTable::num(s.elapsed_s, 3)});
+      const std::string prefix =
+          util::format("service/%s/%s/jobs%zu", scenario.c_str(), method.c_str(), jobs);
+      json.add(prefix + "/jobs_per_s", s.jobs_per_s);
+      json.add(prefix + "/peak_waiting", static_cast<double>(s.peak_waiting));
+      json.add(prefix + "/decisions", static_cast<double>(s.decisions));
+    }
+    std::printf("%s (span-sliced advances, then drain):\n", scenario.c_str());
+    std::printf("%s\n", table.render().c_str());
+  }
+
+  json.save_if(json_path);
+  return 0;
+}

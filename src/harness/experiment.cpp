@@ -1,19 +1,30 @@
 #include "harness/experiment.hpp"
 
 #include "core/react_agent.hpp"
+#include "service/service_engine.hpp"
 
 namespace reasched::harness {
 
 RunOutcome run_method(const std::vector<sim::Job>& jobs, const MethodSpec& method,
                       std::uint64_t seed, const sim::EngineConfig& engine_config) {
-  const auto scheduler = make_scheduler(method, seed);
-  sim::Engine engine(engine_config);
+  // The batch harness is one client of the scheduling service: a replay
+  // session that loads the whole trace and drains it. ServiceEngine drives
+  // the same sim::EngineCore steps sim::Engine::run performs, so batch
+  // results are bit-identical to the pre-service harness (pinned by the
+  // golden tests) while every harness run exercises the service path.
+  service::ServiceConfig config;
+  config.method = method;
+  config.engine = engine_config;
+  config.seed = seed;
+  service::ServiceEngine session(config);
+
+  service::DrainResult drained = session.replay(jobs);
 
   RunOutcome outcome;
-  outcome.schedule = engine.run(jobs, *scheduler);
-  outcome.metrics = metrics::compute_metrics(outcome.schedule, engine_config.cluster);
+  outcome.schedule = std::move(drained.schedule);
+  outcome.metrics = drained.metrics;
 
-  if (const auto* agent = dynamic_cast<const core::ReActAgent*>(scheduler.get())) {
+  if (const auto* agent = dynamic_cast<const core::ReActAgent*>(&session.scheduler())) {
     OverheadSummary o;
     const llm::Transcript& t = agent->transcript();
     o.n_calls = t.n_calls();

@@ -1,0 +1,242 @@
+#include "service/session.hpp"
+
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+
+#include "service/snapshot.hpp"
+#include "util/rng.hpp"
+#include "util/string_utils.hpp"
+
+namespace reasched::service {
+
+MessageQueue::MessageQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool MessageQueue::push(Envelope e) {
+  std::unique_lock lock(mu_);
+  not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
+  if (closed_) return false;
+  items_.push_back(std::move(e));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+std::optional<Envelope> MessageQueue::pop() {
+  std::unique_lock lock(mu_);
+  not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+  if (items_.empty()) return std::nullopt;  // closed and drained
+  Envelope e = std::move(items_.front());
+  items_.pop_front();
+  lock.unlock();
+  not_full_.notify_one();
+  return e;
+}
+
+void MessageQueue::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t MessageQueue::size() const {
+  std::lock_guard lock(mu_);
+  return items_.size();
+}
+
+bool MessageQueue::closed() const {
+  std::lock_guard lock(mu_);
+  return closed_;
+}
+
+std::uint64_t SessionTable::open(std::string name) {
+  std::lock_guard lock(mu_);
+  const std::uint64_t id = next_id_++;
+  SessionInfo info;
+  info.id = id;
+  info.name = std::move(name);
+  sessions_.emplace(id, std::move(info));
+  return id;
+}
+
+void SessionTable::record(std::uint64_t id, bool ok) {
+  std::lock_guard lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument(util::format("SessionTable: unknown session %llu",
+                                             static_cast<unsigned long long>(id)));
+  }
+  ++it->second.n_requests;
+  if (!ok) ++it->second.n_errors;
+}
+
+void SessionTable::close(std::uint64_t id) {
+  std::lock_guard lock(mu_);
+  const auto it = sessions_.find(id);
+  if (it == sessions_.end()) {
+    throw std::invalid_argument(util::format("SessionTable: unknown session %llu",
+                                             static_cast<unsigned long long>(id)));
+  }
+  it->second.open = false;
+}
+
+std::size_t SessionTable::n_open() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, info] : sessions_) {
+    if (info.open) ++n;
+  }
+  return n;
+}
+
+std::size_t SessionTable::total_requests() const {
+  std::lock_guard lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [id, info] : sessions_) n += info.n_requests;
+  return n;
+}
+
+std::vector<SessionInfo> SessionTable::snapshot() const {
+  std::lock_guard lock(mu_);
+  std::vector<SessionInfo> out;
+  out.reserve(sessions_.size());
+  for (const auto& [id, info] : sessions_) out.push_back(info);
+  return out;
+}
+
+ResultSink::ResultSink(std::ostream* out, bool keep) : out_(out), keep_(keep) {}
+
+void ResultSink::append(const std::string& line) {
+  std::lock_guard lock(mu_);
+  if (out_ != nullptr) *out_ << line << '\n';
+  if (keep_) lines_.push_back(line);
+  ++count_;
+}
+
+std::size_t ResultSink::count() const {
+  std::lock_guard lock(mu_);
+  return count_;
+}
+
+std::vector<std::string> ResultSink::lines() const {
+  std::lock_guard lock(mu_);
+  return lines_;
+}
+
+std::string handle_request(ServiceEngine& engine, const Request& request, bool& shutdown) {
+  try {
+    switch (request.op) {
+      case Request::Op::kSubmit: return render_submit(engine.submit(request.job));
+      case Request::Op::kQuery:
+        if (request.has_id) {
+          return render_job_state(request.id, engine.job_state(request.id));
+        }
+        return render_status(engine.status());
+      case Request::Op::kCancel: return render_cancel(engine.cancel(request.id));
+      case Request::Op::kAdvance:
+        engine.advance_to(request.to);
+        return render_advance(engine.status());
+      case Request::Op::kDrain: return render_drain(engine.drain());
+      case Request::Op::kCheckpoint:
+        save_snapshot(engine, request.path);
+        return render_checkpoint(request.path, engine.state_digest());
+      case Request::Op::kShutdown:
+        shutdown = true;
+        return render_shutdown();
+    }
+    return render_error("unhandled op");  // unreachable
+  } catch (const std::exception& e) {
+    return render_error(e.what());
+  }
+}
+
+LoopStats run_service_loop(ServiceEngine& engine, std::istream& in, std::ostream& out) {
+  LoopStats stats;
+  std::string line;
+  while (!stats.shutdown && std::getline(in, line)) {
+    if (line.empty()) continue;
+    ++stats.n_requests;
+    std::string response;
+    try {
+      const Request request = parse_request(line);
+      response = handle_request(engine, request, stats.shutdown);
+    } catch (const ProtocolError& e) {
+      response = render_error(e.what());
+    }
+    if (response.rfind("{\"ok\":false", 0) == 0) ++stats.n_errors;
+    // Flush per line: clients block on our responses (and the checkpoint ack
+    // is the durability signal CI kills the process on), so responses must
+    // not sit in a full-buffered redirect.
+    out << response << std::endl;
+  }
+  return stats;
+}
+
+LoopStats run_concurrent_session(ServiceEngine& engine, std::size_t n_submitters,
+                                 std::size_t requests_per_submitter, SessionTable& sessions,
+                                 ResultSink& sink) {
+  MessageQueue queue(/*capacity=*/64);
+  const std::uint64_t seed = engine.config().seed;
+
+  std::vector<std::thread> submitters;
+  submitters.reserve(n_submitters);
+  for (std::size_t s = 0; s < n_submitters; ++s) {
+    submitters.emplace_back([&queue, &sessions, seed, s, requests_per_submitter] {
+      const std::uint64_t session =
+          sessions.open(util::format("submitter-%zu", s));
+      util::Rng rng(util::derive_seed(seed, "stress-submitter", s));
+      for (std::uint64_t i = 0; i < requests_per_submitter; ++i) {
+        std::string line;
+        const std::int64_t roll = rng.uniform_int(0, 9);
+        if (roll < 8) {
+          // Submit a small deterministic job; the service assigns the id.
+          line = util::format(
+              "{\"op\":\"submit\",\"job\":{\"duration\":%lld,\"nodes\":%lld,"
+              "\"memory_gb\":%lld,\"user\":%lld}}",
+              static_cast<long long>(rng.uniform_int(10, 600)),
+              static_cast<long long>(rng.uniform_int(1, 8)),
+              static_cast<long long>(rng.uniform_int(1, 32)),
+              static_cast<long long>(rng.uniform_int(1, 5)));
+        } else if (roll == 8) {
+          line = "{\"op\":\"query\"}";
+        } else {
+          // Cancel a random id; often unknown or already placed - both are
+          // legitimate protocol outcomes the consumer must survive.
+          line = util::format("{\"op\":\"cancel\",\"id\":%lld}",
+                              static_cast<long long>(rng.uniform_int(1, 50)));
+        }
+        if (!queue.push(Envelope{session, i, std::move(line)})) break;
+      }
+      sessions.close(session);
+    });
+  }
+
+  LoopStats stats;
+  std::thread consumer([&queue, &engine, &sessions, &sink, &stats] {
+    while (auto envelope = queue.pop()) {
+      ++stats.n_requests;
+      std::string response;
+      try {
+        const Request request = parse_request(envelope->line);
+        response = handle_request(engine, request, stats.shutdown);
+      } catch (const ProtocolError& e) {
+        response = render_error(e.what());
+      }
+      const bool ok = response.rfind("{\"ok\":false", 0) != 0;
+      if (!ok) ++stats.n_errors;
+      sessions.record(envelope->session, ok);
+      sink.append(response);
+    }
+  });
+
+  for (std::thread& t : submitters) t.join();
+  queue.close();
+  consumer.join();
+  return stats;
+}
+
+}  // namespace reasched::service

@@ -1,251 +1,18 @@
 #include "sim/engine.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <stdexcept>
-#include <unordered_map>
-
-#include "sim/feedback.hpp"
-#include "util/logging.hpp"
-#include "util/string_utils.hpp"
+#include "sim/engine_core.hpp"
 
 namespace reasched::sim {
 
-struct Engine::RunState {
-  explicit RunState(ClusterSpec spec) : cluster(spec) {}
-
-  ClusterState cluster;
-  EventQueue events;
-  JobTable table;
-  ScheduleResult result;
-  Scheduler* scheduler = nullptr;
-  bool stopped = false;
-
-  DecisionContext context(double now) const {
-    return DecisionContext{now,
-                           cluster,
-                           table.waiting_view(),
-                           table.ineligible_view(),
-                           cluster.running_view(),
-                           result.completed,
-                           events.has_pending_arrivals(),
-                           table.size(),
-                           &table};
-  }
-};
-
 Engine::Engine(EngineConfig config) : config_(config) {}
 
-void Engine::validate_jobs(const std::vector<Job>& jobs) const {
-  const ClusterState probe(config_.cluster);
-  std::unordered_map<JobId, std::size_t> index;
-  index.reserve(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const Job& j = jobs[i];
-    if (!j.valid()) {
-      throw std::invalid_argument(util::format("Engine: job %d is malformed", j.id));
-    }
-    if (!index.emplace(j.id, i).second) {
-      throw std::invalid_argument(util::format("Engine: duplicate job id %d", j.id));
-    }
-    if (!probe.fits_empty(j)) {
-      throw std::invalid_argument(util::format(
-          "Engine: job %d requests %d nodes / %.0f GB, exceeding cluster capacity", j.id, j.nodes,
-          j.memory_gb));
-    }
-  }
-  // Dependency references must exist and form a DAG (Kahn's algorithm over
-  // dense indices: O(V + E)).
-  std::vector<int> indegree(jobs.size(), 0);
-  std::vector<std::vector<std::size_t>> successors(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    const Job& j = jobs[i];
-    for (const JobId dep : j.dependencies) {
-      const auto it = index.find(dep);
-      if (it == index.end()) {
-        throw std::invalid_argument(
-            util::format("Engine: job %d depends on unknown job %d", j.id, dep));
-      }
-      if (dep == j.id) {
-        throw std::invalid_argument(util::format("Engine: job %d depends on itself", j.id));
-      }
-      ++indegree[i];
-      successors[it->second].push_back(i);
-    }
-  }
-  std::vector<std::size_t> frontier;
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (indegree[i] == 0) frontier.push_back(i);
-  }
-  std::size_t visited = 0;
-  while (!frontier.empty()) {
-    const std::size_t i = frontier.back();
-    frontier.pop_back();
-    ++visited;
-    for (const std::size_t succ : successors[i]) {
-      if (--indegree[succ] == 0) frontier.push_back(succ);
-    }
-  }
-  if (visited != jobs.size()) {
-    throw std::invalid_argument("Engine: dependency graph contains a cycle");
-  }
-}
-
-void Engine::process_events_at(RunState& rs, double now) {
-  while (!rs.events.empty() && same_event_time(rs.events.next_time(), now)) {
-    const Event e = rs.events.pop();
-    if (e.type == EventType::kCompletion) {
-      const auto alloc = rs.cluster.release(e.job_id);
-      CompletedJob record{alloc.job, alloc.start_time, alloc.end_time,
-                          rs.table.killed(e.job_id)};
-      // Report the job as submitted (original duration), even when killed.
-      record.job = rs.table.job(e.job_id);
-      rs.result.completed.push_back(std::move(record));
-      rs.table.complete(e.job_id);
-      rs.result.final_time = std::max(rs.result.final_time, alloc.end_time);
-    } else {
-      rs.table.arrive(e.job_id);
-    }
-  }
-}
-
-void Engine::execute_start(RunState& rs, double now, const Job& job, bool backfill) {
-  Job effective = job;
-  if (config_.enforce_walltime && effective.duration > effective.walltime) {
-    // The resource manager terminates the job at its requested limit.
-    effective.duration = effective.walltime;
-    rs.table.mark_killed(effective.id);
-  }
-  rs.cluster.allocate(effective, now);
-  rs.events.push(now + effective.duration, EventType::kCompletion, effective.id);
-  rs.table.start(job.id);
-  if (backfill) ++rs.result.n_backfills;
-}
-
-void Engine::emergency_start(RunState& rs, double now) {
-  // Reached only when the scheduler delays with no pending events: nothing
-  // is running, so the full cluster is free and the first waiting job must
-  // fit (capacity-impossible jobs were rejected at submission).
-  for (const Job& job : rs.table.waiting_view()) {
-    if (rs.cluster.fits(job)) {
-      LOG_WARN("Engine: forcing FCFS start of job " << job.id
-                                                    << " to break a scheduler livelock");
-      ++rs.result.n_forced_delays;
-      execute_start(rs, now, job, /*backfill=*/false);
-      return;
-    }
-  }
-  throw std::logic_error("Engine: livelock with no startable job (unreachable)");
-}
-
-void Engine::decision_phase(RunState& rs, double now) {
-  int invalid_streak = 0;
-  while (!rs.stopped) {
-    const DecisionContext ctx = rs.context(now);
-
-    // The paper queries the agent only when jobs are ready, with one
-    // exception: the terminal state, where the agent is asked once so it can
-    // emit Stop (Figure 2, decision at t=9997).
-    const bool terminal_state =
-        ctx.waiting.empty() && ctx.ineligible.empty() && !ctx.arrivals_pending;
-    if (ctx.waiting.empty() && !terminal_state) return;
-
-    const Action action = rs.scheduler->decide(ctx);
-    ++rs.result.n_decisions;
-
-    const Validation verdict = checker_.check(action, ctx);
-    DecisionRecord record;
-    record.time = now;
-    record.action = action;
-    record.accepted = verdict.ok();
-    if (config_.record_traces) record.thought = rs.scheduler->last_thought();
-
-    if (verdict.ok()) {
-      invalid_streak = 0;
-      switch (action.type) {
-        case ActionType::kStartJob:
-        case ActionType::kBackfillJob: {
-          // Checker accepted, so the job is in the waiting index; the arena
-          // reference stays valid across the start transition.
-          const Job& job = *ctx.find_waiting(action.job_id);
-          execute_start(rs, now, job, action.type == ActionType::kBackfillJob);
-          // ctx's views were invalidated by the start transition; notify
-          // with a fresh context over the post-action state.
-          rs.scheduler->on_accepted(action, rs.context(now));
-          break;
-        }
-        case ActionType::kStop:
-          rs.stopped = true;
-          rs.scheduler->on_accepted(action, ctx);
-          break;
-        case ActionType::kDelay:
-          rs.scheduler->on_accepted(action, ctx);
-          break;
-      }
-      if (config_.record_traces) rs.result.decisions.push_back(std::move(record));
-      if (action.type == ActionType::kDelay || action.type == ActionType::kStop) {
-        if (action.type == ActionType::kDelay && rs.events.empty() &&
-            rs.table.n_waiting() > 0) {
-          emergency_start(rs, now);
-          continue;
-        }
-        return;
-      }
-      if (terminal_state) return;  // nothing left to place
-      continue;
-    }
-
-    // Invalid action: explain (Section 2.4), count, and re-query.
-    ++rs.result.n_invalid_actions;
-    ++invalid_streak;
-    const std::string feedback = render_feedback(now, action, verdict);
-    if (config_.feedback_enabled) rs.scheduler->on_feedback(feedback, ctx);
-    if (config_.record_traces) {
-      record.feedback = feedback;
-      rs.result.decisions.push_back(std::move(record));
-    }
-    if (invalid_streak > config_.max_invalid_retries) {
-      ++rs.result.n_forced_delays;
-      if (rs.events.empty() && rs.table.n_waiting() > 0) {
-        emergency_start(rs, now);
-        invalid_streak = 0;
-        continue;
-      }
-      return;  // forced Delay: advance to the next event
-    }
-  }
-}
-
 ScheduleResult Engine::run(const std::vector<Job>& jobs, Scheduler& scheduler) {
-  validate_jobs(jobs);
-  RunState rs(config_.cluster);
-  rs.scheduler = &scheduler;
-  scheduler.reset();
-
-  rs.table.build(jobs);
-  rs.result.completed.reserve(jobs.size());
-  for (const Job& j : jobs) {
-    rs.events.push(j.submit_time, EventType::kArrival, j.id);
+  validate_jobs(jobs, config_.cluster);
+  EngineCore core(config_, scheduler);
+  core.load(jobs);
+  while (core.step()) {
   }
-
-  while (!rs.events.empty()) {
-    const double now = rs.events.next_time();
-    process_events_at(rs, now);
-    decision_phase(rs, now);
-    if (rs.events.empty() && rs.table.n_waiting() > 0 && !rs.stopped) {
-      // Scheduler delayed with no future events; force progress.
-      emergency_start(rs, now);
-      decision_phase(rs, now);
-    }
-  }
-
-  if (rs.table.n_waiting() > 0 || rs.table.n_ineligible() > 0) {
-    throw std::logic_error("Engine: simulation ended with unscheduled jobs (unreachable)");
-  }
-  // total-order: unique JobId.
-  std::sort(rs.result.completed.begin(), rs.result.completed.end(),
-            [](const CompletedJob& a, const CompletedJob& b) { return a.job.id < b.job.id; });
-  return std::move(rs.result);
+  return core.finish();
 }
 
 }  // namespace reasched::sim

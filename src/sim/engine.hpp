@@ -49,6 +49,11 @@ struct EngineConfig {
 /// cost of a decision point is O(1) context construction plus the
 /// scheduler's own work - see ARCHITECTURE.md and, for the pre-refactor
 /// semantics baseline, ReferenceEngine.
+///
+/// The event loop itself lives in sim::EngineCore (engine_core.hpp), a
+/// steppable state machine the online service drives directly; run() is a
+/// thin validate/load/step-to-exhaustion/finish loop over it, so batch and
+/// service-mode execution share one per-step implementation.
 class Engine {
  public:
   explicit Engine(EngineConfig config = {});
@@ -61,17 +66,7 @@ class Engine {
   const EngineConfig& config() const { return config_; }
 
  private:
-  struct RunState;
-  void validate_jobs(const std::vector<Job>& jobs) const;
-  void process_events_at(RunState& rs, double now);
-  /// Query/execute loop at one decision point; returns false once Stop was
-  /// accepted.
-  void decision_phase(RunState& rs, double now);
-  void execute_start(RunState& rs, double now, const Job& job, bool backfill);
-  void emergency_start(RunState& rs, double now);
-
   EngineConfig config_;
-  ConstraintChecker checker_;
 };
 
 }  // namespace reasched::sim

@@ -23,6 +23,17 @@ Event EventQueue::pop() {
   return e;
 }
 
+std::vector<Event> EventQueue::snapshot_events() const {
+  auto clone = heap_;
+  std::vector<Event> out;
+  out.reserve(clone.size());
+  while (!clone.empty()) {
+    out.push_back(clone.top());
+    clone.pop();
+  }
+  return out;
+}
+
 double EventQueue::next_time() const {
   if (heap_.empty()) return std::numeric_limits<double>::infinity();
   return heap_.top().time;

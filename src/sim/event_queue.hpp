@@ -25,6 +25,11 @@ class EventQueue {
   /// only legal once no more jobs will ever arrive).
   bool has_pending_arrivals() const { return pending_arrivals_ > 0; }
 
+  /// Every queued event in pop order (earliest first). Drains a clone of the
+  /// heap - O(n log n) - so it is meant for checkpoint digests and debugging,
+  /// not per-event use.
+  std::vector<Event> snapshot_events() const;
+
  private:
   struct Cmp {
     bool operator()(const Event& a, const Event& b) const { return event_after(a, b); }

@@ -31,6 +31,7 @@ const char* to_string(JobState s) {
     case JobState::kRunning: return "running";
     case JobState::kCompleted: return "completed";
     case JobState::kBlocked: return "blocked";
+    case JobState::kCancelled: return "cancelled";
   }
   return "?";
 }

@@ -12,7 +12,9 @@ using GroupId = int;
 /// Lifecycle of a job inside the engine's indexed state: kPending (submitted,
 /// arrival event not yet fired), kBlocked (arrived, dependencies unmet),
 /// kWaiting (eligible, in the ordered waiting index), kRunning, kCompleted.
-enum class JobState { kPending, kWaiting, kRunning, kCompleted, kBlocked };
+/// kCancelled is reachable only through the online service mode: a client
+/// withdrew the job before it started (batch runs never cancel).
+enum class JobState { kPending, kWaiting, kRunning, kCompleted, kBlocked, kCancelled };
 
 /// A batch job as the paper models it (Section 2.1): resource demands
 /// r_i = (n_i, m_i), a duration d_j, a submit time s_j, and user metadata

@@ -62,6 +62,109 @@ void JobTable::build(const std::vector<Job>& jobs) {
   }
 }
 
+void JobTable::add_job(const Job& job) {
+  if (id_to_index_.count(job.id) != 0) {
+    throw std::invalid_argument(util::format("JobTable: duplicate job id %d", job.id));
+  }
+  if (!jobs_.empty()) {
+    // Appending keeps every index valid only when the new job is last in the
+    // static arrival order (and therefore also last in arrival-event order:
+    // its arrival is pushed after every queued one, and EventQueue breaks
+    // submit-time ties by push sequence).
+    const Job& last = jobs_[rank_to_index_.back()];
+    if (!arrival_order(last, job)) {
+      throw std::invalid_argument(
+          util::format("JobTable: job %d breaks arrival-order append (last is job %d)", job.id,
+                       last.id));
+    }
+  }
+  std::uint32_t remaining = 0;
+  for (const JobId dep : job.dependencies) {
+    const auto it = id_to_index_.find(dep);
+    if (it == id_to_index_.end()) {
+      throw std::invalid_argument(
+          util::format("JobTable: job %d depends on unknown job %d", job.id, dep));
+    }
+    const JobState dep_state = meta_[it->second].state;
+    if (dep_state == JobState::kCancelled) {
+      throw std::invalid_argument(
+          util::format("JobTable: job %d depends on cancelled job %d", job.id, dep));
+    }
+    if (dep_state != JobState::kCompleted) ++remaining;
+  }
+
+  const auto idx = static_cast<std::uint32_t>(jobs_.size());
+  jobs_.push_back(job);
+  meta_.emplace_back();
+  meta_[idx].remaining_deps = remaining;
+  for (const JobId dep : job.dependencies) {
+    meta_[index_of(dep)].dependents.push_back(idx);
+  }
+  id_to_index_.emplace(job.id, idx);
+  rank_of_.push_back(idx);  // new arrival rank == new dense index == idx
+  rank_to_index_.push_back(idx);
+  event_rank_of_.push_back(idx);
+  if (jobs_.size() > tree_leaves_) {
+    // Double the leaf layer and replay the waiting set into the fresh tree;
+    // amortized O(log n) per admit.
+    tree_leaves_ = std::bit_ceil(static_cast<std::uint32_t>(jobs_.size()));
+    tree_.assign(2 * static_cast<std::size_t>(tree_leaves_), WaitingAggregate{});
+    for (const std::uint32_t w : waiting_) {
+      const Job& j = jobs_[w];
+      tree_update(rank_of_[w], {j.nodes, j.memory_gb, j.walltime});
+    }
+  }
+}
+
+std::vector<JobId> JobTable::cancel(JobId id) {
+  const auto it = id_to_index_.find(id);
+  if (it == id_to_index_.end()) {
+    throw std::invalid_argument(util::format("JobTable: cancelling unknown job id %d", id));
+  }
+  const JobState root_state = meta_[it->second].state;
+  if (root_state == JobState::kRunning || root_state == JobState::kCompleted ||
+      root_state == JobState::kCancelled) {
+    return {};
+  }
+  // BFS over the reverse-dependency adjacency. Dependents of a non-completed
+  // job are necessarily kPending or kBlocked (never waiting/running), so the
+  // cascade only ever touches not-yet-started jobs.
+  std::vector<std::uint32_t> frontier{it->second};
+  std::vector<JobId> cancelled;
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    const std::uint32_t idx = frontier[i];
+    Meta& m = meta_[idx];
+    if (m.state == JobState::kCancelled) continue;  // diamond in the DAG
+    switch (m.state) {
+      case JobState::kWaiting:
+        erase_waiting(idx);
+        break;
+      case JobState::kBlocked: {
+        const auto pos = std::lower_bound(ineligible_.begin(), ineligible_.end(), idx,
+                                          [&](std::uint32_t a, std::uint32_t b) {
+                                            return event_rank_of_[a] < event_rank_of_[b];
+                                          });
+        if (pos == ineligible_.end() || *pos != idx) {
+          throw std::logic_error("JobTable: cancelled job missing from ineligible list");
+        }
+        ineligible_.erase(pos);
+        break;
+      }
+      case JobState::kPending:
+        break;  // arrival event tombstoned by the engine
+      default:
+        throw std::logic_error(
+            util::format("JobTable: dependent %d in unexpected state", jobs_[idx].id));
+    }
+    m.state = JobState::kCancelled;
+    cancelled.push_back(jobs_[idx].id);
+    for (const std::uint32_t dep_idx : m.dependents) {
+      if (meta_[dep_idx].state != JobState::kCancelled) frontier.push_back(dep_idx);
+    }
+  }
+  return cancelled;
+}
+
 std::uint32_t JobTable::index_of(JobId id) const {
   const auto it = id_to_index_.find(id);
   if (it == id_to_index_.end()) {

@@ -55,9 +55,31 @@ class JobTable {
   /// lifecycle state.
   void build(const std::vector<Job>& jobs);
 
+  /// Online admit: append one job to the arena. The job must be last in
+  /// arrival order, i.e. arrival_order(existing, job) for every job already
+  /// in the table - the service layer guarantees this with monotone ids and
+  /// a submit-time watermark - so the static arrival-rank permutation stays
+  /// an append and the backfill segment tree only ever grows at the end
+  /// (doubling + O(n_waiting log n) rebuild when the leaf capacity is
+  /// exceeded, amortized O(log n) per admit). Dependencies must reference
+  /// known, non-cancelled jobs. Throws std::invalid_argument on violations.
+  void add_job(const Job& job);
+
+  /// Online cancel: withdraw `id` and, transitively, every dependent that
+  /// can no longer run. Legal only while `id` has not started; returns the
+  /// cancelled ids in cancellation (BFS) order, or an empty vector when the
+  /// job is running/completed/already cancelled (nothing changes). Pending
+  /// jobs stay in the arena as kCancelled; their queued arrival events must
+  /// be tombstoned by the caller (the engine skips arrivals for cancelled
+  /// ids).
+  std::vector<JobId> cancel(JobId id);
+
   std::size_t size() const { return jobs_.size(); }
   std::size_t n_waiting() const { return waiting_.size(); }
   std::size_t n_ineligible() const { return ineligible_.size(); }
+
+  /// Is `id` known to the table (any lifecycle state, including cancelled)?
+  bool contains(JobId id) const { return id_to_index_.count(id) != 0; }
 
   const Job& job(JobId id) const { return jobs_[index_of(id)]; }
   JobState state(JobId id) const { return meta_[index_of(id)].state; }
@@ -113,6 +135,10 @@ class JobTable {
   ListView<Job> ineligible_view() const {
     return {jobs_.data(), ineligible_.data(), ineligible_.size()};
   }
+
+  /// The full job arena in build/admit order (deterministic, not id-sorted).
+  /// Snapshot digests and service queries iterate this.
+  const std::vector<Job>& arena() const { return jobs_; }
 
  private:
   struct Meta {

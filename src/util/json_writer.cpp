@@ -1,6 +1,7 @@
 #include "util/json_writer.hpp"
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <stdexcept>
 
@@ -77,6 +78,12 @@ JsonWriter& JsonWriter::value(double v) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value_exact(double v) {
+  before_value();
+  out_ += format_double_exact(v);
+  return *this;
+}
+
 JsonWriter& JsonWriter::value(long long v) {
   before_value();
   out_ += std::to_string(v);
@@ -99,6 +106,17 @@ void JsonWriter::save(const std::string& path) const {
   std::ofstream f(path);
   if (!f) throw std::runtime_error("JsonWriter::save: cannot open " + path);
   f << out_;
+}
+
+std::string format_double_exact(double v) {
+  if (!std::isfinite(v)) {
+    throw std::invalid_argument("format_double_exact: non-finite value");
+  }
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::string s = format("%.*g", precision, v);
+    if (std::strtod(s.c_str(), nullptr) == v) return s;
+  }
+  throw std::logic_error("format_double_exact: %.17g failed to round-trip (unreachable)");
 }
 
 std::string JsonWriter::escape(const std::string& s) {

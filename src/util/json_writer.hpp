@@ -23,6 +23,11 @@ class JsonWriter {
   JsonWriter& value(const std::string& v);
   JsonWriter& value(const char* v);
   JsonWriter& value(double v);
+  /// Round-trip-exact double (format_double_exact): use for state that must
+  /// survive serialize -> parse bit-identically (service snapshots, decision
+  /// traces). Plain value(double) stays %.10g - compact, human-oriented,
+  /// lossy.
+  JsonWriter& value_exact(double v);
   JsonWriter& value(long long v);
   JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
   JsonWriter& value(std::size_t v) { return value(static_cast<long long>(v)); }
@@ -36,6 +41,12 @@ class JsonWriter {
     return value(v);
   }
 
+  /// Shorthand: key + round-trip-exact double.
+  JsonWriter& kv_exact(const std::string& k, double v) {
+    key(k);
+    return value_exact(v);
+  }
+
   const std::string& str() const { return out_; }
   void save(const std::string& path) const;
 
@@ -47,5 +58,12 @@ class JsonWriter {
   std::vector<bool> needs_comma_;  // stack; one entry per open container
   bool after_key_ = false;
 };
+
+/// Shortest decimal string that strtod parses back to exactly `v` (tries
+/// %.15g, %.16g, %.17g; 17 significant digits always round-trip an IEEE-754
+/// double). Finite inputs only - callers serializing simulation state never
+/// hold NaN/Inf, and the function throws std::invalid_argument on them
+/// rather than silently emitting invalid JSON.
+std::string format_double_exact(double v);
 
 }  // namespace reasched::util
