@@ -1,0 +1,29 @@
+#pragma once
+
+namespace reasched::harness {
+class MethodRegistry;
+}
+
+/// Built-in method registration, one TU per implementing layer
+/// (method_registration_{sched,opt,core}.cpp). The registration glue lives
+/// in harness - not in sched/opt/core - because it is the one place that
+/// must see both the registry (a harness type) and the concrete scheduler
+/// classes; per the layering contract (layer_lint.py), the implementing
+/// layers themselves may not include upward into harness. The functions
+/// keep their per-layer namespaces: each registers exactly the methods its
+/// layer implements.
+
+namespace reasched::sched {
+/// `fcfs`, `sjf`, `easy` - the configuration-free queue-policy baselines.
+void register_methods(harness::MethodRegistry& registry);
+}  // namespace reasched::sched
+
+namespace reasched::opt {
+/// `opt:portfolio` - the OR-Tools stand-in with budget/window parameters.
+void register_methods(harness::MethodRegistry& registry);
+}  // namespace reasched::opt
+
+namespace reasched::core {
+/// `agent:claude37|o4mini|fastlocal` - the ReAct LLM agents.
+void register_methods(harness::MethodRegistry& registry);
+}  // namespace reasched::core

@@ -1,4 +1,4 @@
-#include "core/method_registration.hpp"
+#include "harness/method_registration.hpp"
 
 #include <limits>
 

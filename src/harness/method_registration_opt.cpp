@@ -1,4 +1,4 @@
-#include "opt/method_registration.hpp"
+#include "harness/method_registration.hpp"
 
 #include "harness/method_spec.hpp"
 #include "opt/optimizing_scheduler.hpp"

@@ -1,4 +1,4 @@
-#include "sched/method_registration.hpp"
+#include "harness/method_registration.hpp"
 
 #include "harness/method_spec.hpp"
 #include "sched/easy_backfill.hpp"

@@ -3,9 +3,7 @@
 #include <algorithm>
 #include <set>
 
-#include "core/method_registration.hpp"
-#include "opt/method_registration.hpp"
-#include "sched/method_registration.hpp"
+#include "harness/method_registration.hpp"
 #include "util/string_utils.hpp"
 
 namespace reasched::harness {

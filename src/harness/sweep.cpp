@@ -1,9 +1,9 @@
 #include "harness/sweep.hpp"
 
-#include <mutex>
 #include <set>
 #include <tuple>
 
+#include "util/sync.hpp"
 #include "util/thread_pool.hpp"
 
 namespace reasched::harness {
@@ -106,14 +106,17 @@ void sweep_cells(const SweepConfig& config, Consume&& consume) {
     workloads[i] = cell_jobs(config, key.scenario, key.n_jobs, key.repetition);
   });
 
-  std::mutex mu;
+  // Serializes the `consume` sink: cells complete on arbitrary pool threads
+  // but the caller's accumulator is single-writer. util::Mutex (not
+  // std::mutex) so -Werror=thread-safety sees the acquisition.
+  util::Mutex mu;
   pool.parallel_for(cells.size(), [&](std::size_t i) {
     const Cell& cell = cells[i];
     const auto& jobs =
         workloads[workload_index.at(WorkloadKey{cell.scenario, cell.n_jobs, cell.repetition})];
     RunOutcome outcome = run_method(jobs, cell.method, cell_seed(config, cell),
                                     engines[cell_engine_index[i]]);
-    std::lock_guard lock(mu);
+    util::MutexLock lock(mu);
     consume(cell, std::move(outcome));
   });
 }

@@ -5,6 +5,12 @@
 
 namespace reasched::harness {
 
+// harness::run_method is *declared* in harness/experiment.hpp but *defined*
+// here in the service layer: the batch harness is one client of the
+// scheduling service (PR 8), and the layering contract (layer_lint.py) says
+// service may include harness, never the reverse. The harness declares the
+// seam; the layer that owns ServiceEngine binds it. Linking is unaffected -
+// every binary that uses run_method links the one reasched archive.
 RunOutcome run_method(const std::vector<sim::Job>& jobs, const MethodSpec& method,
                       std::uint64_t seed, const sim::EngineConfig& engine_config) {
   // The batch harness is one client of the scheduling service: a replay

@@ -14,29 +14,32 @@ namespace reasched::service {
 MessageQueue::MessageQueue(std::size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
 
 bool MessageQueue::push(Envelope e) {
-  std::unique_lock lock(mu_);
-  not_full_.wait(lock, [this] { return items_.size() < capacity_ || closed_; });
-  if (closed_) return false;
-  items_.push_back(std::move(e));
-  lock.unlock();
+  {
+    util::MutexLock lock(mu_);
+    while (items_.size() >= capacity_ && !closed_) not_full_.wait(mu_);
+    if (closed_) return false;
+    items_.push_back(std::move(e));
+  }
   not_empty_.notify_one();
   return true;
 }
 
 std::optional<Envelope> MessageQueue::pop() {
-  std::unique_lock lock(mu_);
-  not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
-  if (items_.empty()) return std::nullopt;  // closed and drained
-  Envelope e = std::move(items_.front());
-  items_.pop_front();
-  lock.unlock();
+  std::optional<Envelope> e;
+  {
+    util::MutexLock lock(mu_);
+    while (items_.empty() && !closed_) not_empty_.wait(mu_);
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    e.emplace(std::move(items_.front()));
+    items_.pop_front();
+  }
   not_full_.notify_one();
   return e;
 }
 
 void MessageQueue::close() {
   {
-    std::lock_guard lock(mu_);
+    util::MutexLock lock(mu_);
     closed_ = true;
   }
   not_full_.notify_all();
@@ -44,17 +47,17 @@ void MessageQueue::close() {
 }
 
 std::size_t MessageQueue::size() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return items_.size();
 }
 
 bool MessageQueue::closed() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return closed_;
 }
 
 std::uint64_t SessionTable::open(std::string name) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const std::uint64_t id = next_id_++;
   SessionInfo info;
   info.id = id;
@@ -64,7 +67,7 @@ std::uint64_t SessionTable::open(std::string name) {
 }
 
 void SessionTable::record(std::uint64_t id, bool ok) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     throw std::invalid_argument(util::format("SessionTable: unknown session %llu",
@@ -75,7 +78,7 @@ void SessionTable::record(std::uint64_t id, bool ok) {
 }
 
 void SessionTable::close(std::uint64_t id) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   const auto it = sessions_.find(id);
   if (it == sessions_.end()) {
     throw std::invalid_argument(util::format("SessionTable: unknown session %llu",
@@ -85,7 +88,7 @@ void SessionTable::close(std::uint64_t id) {
 }
 
 std::size_t SessionTable::n_open() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [id, info] : sessions_) {
     if (info.open) ++n;
@@ -94,14 +97,14 @@ std::size_t SessionTable::n_open() const {
 }
 
 std::size_t SessionTable::total_requests() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::size_t n = 0;
   for (const auto& [id, info] : sessions_) n += info.n_requests;
   return n;
 }
 
 std::vector<SessionInfo> SessionTable::snapshot() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   std::vector<SessionInfo> out;
   out.reserve(sessions_.size());
   for (const auto& [id, info] : sessions_) out.push_back(info);
@@ -111,19 +114,19 @@ std::vector<SessionInfo> SessionTable::snapshot() const {
 ResultSink::ResultSink(std::ostream* out, bool keep) : out_(out), keep_(keep) {}
 
 void ResultSink::append(const std::string& line) {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   if (out_ != nullptr) *out_ << line << '\n';
   if (keep_) lines_.push_back(line);
   ++count_;
 }
 
 std::size_t ResultSink::count() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return count_;
 }
 
 std::vector<std::string> ResultSink::lines() const {
-  std::lock_guard lock(mu_);
+  util::MutexLock lock(mu_);
   return lines_;
 }
 

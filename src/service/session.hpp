@@ -1,17 +1,16 @@
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "service/protocol.hpp"
 #include "service/service_engine.hpp"
+#include "util/sync.hpp"
 
 namespace reasched::service {
 
@@ -48,12 +47,12 @@ class MessageQueue {
   bool closed() const;
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<Envelope> items_;
-  std::size_t capacity_;
-  bool closed_ = false;
+  mutable util::Mutex mu_;
+  util::CondVar not_full_;
+  util::CondVar not_empty_;
+  std::deque<Envelope> items_ GUARDED_BY(mu_);
+  const std::size_t capacity_;  // set once at construction; no guard needed
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 /// One client session's accounting entry.
@@ -81,9 +80,9 @@ class SessionTable {
   std::vector<SessionInfo> snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::uint64_t, SessionInfo> sessions_;
-  std::uint64_t next_id_ = 1;
+  mutable util::Mutex mu_;
+  std::map<std::uint64_t, SessionInfo> sessions_ GUARDED_BY(mu_);
+  std::uint64_t next_id_ GUARDED_BY(mu_) = 1;
 };
 
 /// Serialized response channel: appends are atomic lines, optionally
@@ -98,11 +97,13 @@ class ResultSink {
   std::vector<std::string> lines() const;
 
  private:
-  mutable std::mutex mu_;
-  std::ostream* out_;
-  bool keep_;
-  std::vector<std::string> lines_;
-  std::size_t count_ = 0;
+  mutable util::Mutex mu_;
+  /// The stream pointer and keep flag are set once at construction; only
+  /// the stream's *contents* (written through the lock) are shared state.
+  std::ostream* const out_;
+  const bool keep_;
+  std::vector<std::string> lines_ GUARDED_BY(mu_);
+  std::size_t count_ GUARDED_BY(mu_) = 0;
 };
 
 /// Outcome of a service loop run.

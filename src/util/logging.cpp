@@ -10,17 +10,17 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_level(LogLevel level) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   level_ = level;
 }
 
 LogLevel Logger::level() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return level_;
 }
 
 void Logger::log(LogLevel level, const std::string& msg) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (static_cast<int>(level) < static_cast<int>(level_)) return;
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }

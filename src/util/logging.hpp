@@ -1,8 +1,9 @@
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "util/sync.hpp"
 
 namespace reasched::util {
 
@@ -22,8 +23,8 @@ class Logger {
 
  private:
   Logger() = default;
-  mutable std::mutex mu_;
-  LogLevel level_ = LogLevel::kWarn;
+  mutable Mutex mu_;
+  LogLevel level_ GUARDED_BY(mu_) = LogLevel::kWarn;
 };
 
 const char* level_name(LogLevel level);

@@ -1,0 +1,72 @@
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.hpp"
+
+namespace reasched::util {
+
+/// std::mutex with thread-safety capability annotations. The standard type
+/// carries none, so std::lock_guard acquisitions are invisible to Clang's
+/// analysis; this wrapper (plus MutexLock/CondVar below) is what makes
+/// GUARDED_BY provable. Same cost as std::mutex - the annotations are
+/// attributes, not code.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over util::Mutex, the annotated std::lock_guard.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with util::Mutex. No predicate overload on
+/// purpose: the analysis treats a predicate lambda as a separate function
+/// holding no capabilities, so guarded reads inside it would be (correctly)
+/// rejected. Write the standard while loop instead:
+///
+///     MutexLock lock(mu_);
+///     while (!ready_) cv_.wait(mu_);   // ready_ GUARDED_BY(mu_)
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Caller holds `mu`; it is released while blocked and held again on
+  /// return (exactly std::condition_variable::wait semantics, which is why
+  /// the annotation is REQUIRES rather than RELEASE+ACQUIRE).
+  void wait(Mutex& mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // still held, as the capability annotation promises
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace reasched::util

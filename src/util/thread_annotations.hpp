@@ -1,0 +1,57 @@
+#pragma once
+
+/// Clang thread-safety analysis attributes (the canonical mutex.h macro set
+/// from the Clang docs). Under Clang with -Wthread-safety these make lock
+/// discipline a compile-time property: the analysis proves every GUARDED_BY
+/// member is only touched with its capability held and every REQUIRES
+/// contract is met at each call site. Under GCC (the local toolchain) they
+/// expand to nothing; CI runs the real check with clang -Werror=thread-safety
+/// (CMake option REASCHED_THREAD_SAFETY).
+///
+/// Use through util::Mutex / util::MutexLock / util::CondVar (util/sync.hpp):
+/// std::mutex itself carries no annotations, so locking it through
+/// std::lock_guard is invisible to the analysis.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define REASCHED_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define REASCHED_THREAD_ANNOTATION(x)  // no-op
+#endif
+
+/// A type that is a capability (e.g. a mutex wrapper). `x` names the
+/// capability kind in diagnostics ("mutex", "role", ...).
+#define CAPABILITY(x) REASCHED_THREAD_ANNOTATION(capability(x))
+
+/// An RAII type that acquires a capability at construction and releases it
+/// at destruction; the analysis tracks it like a scoped lock.
+#define SCOPED_CAPABILITY REASCHED_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only with the given capability held.
+#define GUARDED_BY(x) REASCHED_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is guarded by the given capability.
+#define PT_GUARDED_BY(x) REASCHED_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function requires the capability/capabilities held on entry (and still
+/// held on exit) - callers must hold them; the body may assume them.
+#define REQUIRES(...) REASCHED_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function acquires the capability and holds it on return.
+#define ACQUIRE(...) REASCHED_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function releases the capability (held on entry, released on return).
+#define RELEASE(...) REASCHED_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// Function attempts to acquire; first argument is the success return value.
+#define TRY_ACQUIRE(...) REASCHED_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the capability (guards against double-lock of a
+/// non-reentrant mutex through self-calls).
+#define EXCLUDES(...) REASCHED_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Function returns a reference to the named capability.
+#define RETURN_CAPABILITY(x) REASCHED_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch: body not checked. Every use needs a comment saying why the
+/// analysis cannot see the invariant (and ideally a runtime assertion).
+#define NO_THREAD_SAFETY_ANALYSIS REASCHED_THREAD_ANNOTATION(no_thread_safety_analysis)

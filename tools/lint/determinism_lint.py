@@ -28,6 +28,10 @@ invariants"):
                   tolerance helpers: absolute epsilons silently stop working
                   at large magnitudes (PR 2/6 replaced several). Use the
                   relative tol_* helpers.
+  coverage        with --compile-commands, every src/**/*.cpp must appear in
+                  the database (headers are linted by a tree walk). A TU that
+                  drops out of the build would otherwise be linted never -
+                  silently - rather than loudly.
 
 Escape hatch: `// LINT-ALLOW(rule): reason` on the offending line or the line
 above suppresses that rule there. The reason is mandatory and an allow that
@@ -45,10 +49,12 @@ as much parsing as these rules need and keeps the tool dependency-free.
 """
 
 import argparse
-import json
 import os
 import re
 import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_common  # noqa: E402  (the shared PR 7 lexer + allow protocol)
 
 RULES = {
     "wallclock": "wall-clock / entropy source outside the allowlist",
@@ -57,6 +63,7 @@ RULES = {
     "sort-order": "std::sort without stable_sort or total-order assertion",
     "epsilon": "absolute epsilon float compare outside tolerance helpers",
     "lint-allow": "malformed or unused LINT-ALLOW",
+    "coverage": "src translation unit absent from compile_commands.json",
 }
 
 # Path-prefix allowlists, relative to the repo root (forward slashes). A rule
@@ -83,116 +90,7 @@ PATH_ALLOW = {
     ],
 }
 
-ALLOW_RE = re.compile(r"LINT-ALLOW\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
 TOTAL_ORDER_TOKEN = "total-order"
-
-# ---------------------------------------------------------------------------
-# Lexer: split each line into (code, comment) with string/char literals
-# blanked out of the code channel. Handles //, /* */, "...", '...', and
-# R"delim(...)delim" raw strings well enough for this codebase.
-
-
-def strip_code_and_comments(text):
-    """Return (code_lines, comment_lines): per-line code with comments and
-    literal contents replaced by spaces, and per-line comment text."""
-    code = []
-    comments = []
-    cur_code = []
-    cur_comment = []
-    i = 0
-    n = len(text)
-    state = "code"  # code | line_comment | block_comment | string | char | raw
-    raw_terminator = ""
-
-    def endline():
-        code.append("".join(cur_code))
-        comments.append("".join(cur_comment))
-        cur_code.clear()
-        cur_comment.clear()
-
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if c == "\n":
-            if state == "line_comment":
-                state = "code"
-            endline()
-            i += 1
-            continue
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = "block_comment"
-                cur_code.append("  ")
-                i += 2
-                continue
-            if c == "R" and nxt == '"':
-                m = re.match(r'R"([^(\s"]*)\(', text[i:])
-                if m:
-                    raw_terminator = ")" + m.group(1) + '"'
-                    state = "raw"
-                    cur_code.append('"')
-                    i += m.end()
-                    continue
-            if c == '"':
-                state = "string"
-                cur_code.append('"')
-                i += 1
-                continue
-            if c == "'":
-                state = "char"
-                cur_code.append("'")
-                i += 1
-                continue
-            cur_code.append(c)
-            i += 1
-        elif state == "line_comment":
-            cur_comment.append(c)
-            i += 1
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                cur_code.append("  ")
-                i += 2
-            else:
-                cur_comment.append(c)
-                i += 1
-        elif state == "string":
-            if c == "\\":
-                cur_code.append("  ")
-                i += 2
-            elif c == '"':
-                state = "code"
-                cur_code.append('"')
-                i += 1
-            else:
-                cur_code.append(" ")
-                i += 1
-        elif state == "char":
-            if c == "\\":
-                cur_code.append("  ")
-                i += 2
-            elif c == "'":
-                state = "code"
-                cur_code.append("'")
-                i += 1
-            else:
-                cur_code.append(" ")
-                i += 1
-        elif state == "raw":
-            if text.startswith(raw_terminator, i):
-                state = "code"
-                cur_code.append('"')
-                i += len(raw_terminator)
-            else:
-                cur_code.append(" " if c != "\n" else c)
-                i += 1
-    endline()
-    return code, comments
-
 
 # ---------------------------------------------------------------------------
 # Rule scanners. Each yields (line_index, rule, message).
@@ -322,7 +220,7 @@ def range_for_heads(code_text):
 def scan_file(path, rel, args):
     with open(path, encoding="utf-8", errors="replace") as f:
         text = f.read()
-    code_lines, comment_lines = strip_code_and_comments(text)
+    code_lines, comment_lines = lint_common.strip_code_and_comments(text)
     code_text = "\n".join(code_lines)
 
     def line_of(offset):
@@ -382,53 +280,7 @@ def scan_file(path, rel, args):
                                  "absolute epsilon compare: breaks at large magnitudes; use the "
                                  "relative tolerance helpers (sim/event.hpp, util)"))
 
-    # LINT-ALLOW processing: an allow suppresses its rule on its own line and
-    # on the next line that contains code (a multi-line explanation comment
-    # may sit between the allow and the statement it covers). Allows must
-    # carry a reason and must suppress something.
-    def allow_targets(idx):
-        targets = {idx}
-        for j in range(idx + 1, min(idx + 8, len(code_lines))):
-            if code_lines[j].strip():
-                targets.add(j)
-                break
-        return targets
-
-    allows = {}  # (line_idx, rule) -> [used]
-    for idx, comment in enumerate(comment_lines):
-        for m in ALLOW_RE.finditer(comment):
-            rule, reason = m.group(1), m.group(2)
-            if rule not in RULES or rule == "lint-allow":
-                findings.append((idx, "lint-allow", f"unknown rule '{rule}' in LINT-ALLOW"))
-                continue
-            if not reason or not reason.strip():
-                findings.append((idx, "lint-allow",
-                                 f"LINT-ALLOW({rule}) without a reason; write "
-                                 f"'LINT-ALLOW({rule}): <why this site is exempt>'"))
-                # Still suppress the target rule: the actionable diagnostic is
-                # the missing reason, not a duplicate report of the finding.
-                # Mark pre-used so it cannot also count as stale.
-                allows[(idx, rule)] = [True]
-                continue
-            allows[(idx, rule)] = [False]
-
-    covered = {}  # (target_line, rule) -> allow entry
-    for (idx, rule), entry in allows.items():
-        for target in allow_targets(idx):
-            covered.setdefault((target, rule), entry)
-
-    kept = []
-    for idx, rule, msg in findings:
-        entry = covered.get((idx, rule))
-        if entry is not None:
-            entry[0] = True
-        else:
-            kept.append((idx, rule, msg))
-    for (idx, rule), entry in sorted(allows.items()):
-        if not entry[0]:
-            kept.append((idx, "lint-allow",
-                         f"unused LINT-ALLOW({rule}): nothing on this or the next line "
-                         "triggers that rule; remove the stale allow"))
+    kept = lint_common.apply_allows(findings, code_lines, comment_lines, RULES)
 
     if args.rules:
         kept = [k for k in kept if k[1] in args.rules]
@@ -436,40 +288,6 @@ def scan_file(path, rel, args):
 
 
 # ---------------------------------------------------------------------------
-
-
-def collect_files(args, root):
-    exts = (".cpp", ".hpp", ".cc", ".h", ".cxx", ".hxx")
-    files = []
-    if args.files:
-        files = [os.path.abspath(f) for f in args.files]
-    elif args.compile_commands:
-        with open(args.compile_commands, encoding="utf-8") as f:
-            db = json.load(f)
-        seen = set()
-        for entry in db:
-            p = os.path.abspath(os.path.join(entry["directory"], entry["file"]))
-            if p not in seen:
-                seen.add(p)
-                files.append(p)
-        # Headers do not appear in the database; lint the tree's headers too.
-        for dirpath, _dirs, names in os.walk(os.path.join(root, "src")):
-            for name in names:
-                if name.endswith((".hpp", ".h", ".hxx")):
-                    p = os.path.abspath(os.path.join(dirpath, name))
-                    if p not in seen:
-                        seen.add(p)
-                        files.append(p)
-        if not args.all:
-            files = [f for f in files
-                     if os.path.relpath(f, root).replace(os.sep, "/").startswith("src/")]
-    else:
-        scan_root = os.path.join(root, args.src_root)
-        for dirpath, _dirs, names in os.walk(scan_root):
-            for name in names:
-                if name.endswith(exts):
-                    files.append(os.path.abspath(os.path.join(dirpath, name)))
-    return sorted(files)
 
 
 def main():
@@ -501,11 +319,18 @@ def main():
         print("need files, --compile-commands or --src-root", file=sys.stderr)
         return 2
 
-    root = os.path.abspath(args.root) if args.root else os.path.dirname(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    root = os.path.abspath(args.root) if args.root else lint_common.default_root(__file__)
 
     n_findings = 0
-    files = collect_files(args, root)
+    files, uncovered = lint_common.collect_files(args, root)
+    # Silent-coverage gate: a src/ TU absent from the compile database would
+    # never be linted by the CI invocation - that is a finding, not a skip.
+    if not args.rules or "coverage" in args.rules:
+        for rel in uncovered:
+            print(f"{rel}:1: [coverage] not in compile_commands.json (stale build dir, "
+                  "dead file, or a TU the build no longer compiles); every src/ .cpp "
+                  "must be covered by the lint run")
+            n_findings += 1
     for path in files:
         rel = os.path.relpath(path, root).replace(os.sep, "/")
         for line, rule, msg in scan_file(path, rel, args):

@@ -1,0 +1,2 @@
+#pragma once
+// A middle-tier scheduler header the fixture's sim layer illegally reaches up to.

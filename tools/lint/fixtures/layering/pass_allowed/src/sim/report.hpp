@@ -1,0 +1,3 @@
+#pragma once
+// The fixture's sanctioned exception, reason and all.
+#include "metrics/summary.hpp"  // LINT-ALLOW(layering): fixture pretends this edge was grandfathered

@@ -1,0 +1,2 @@
+#include "service/session.hpp"
+int main() { return 0; }

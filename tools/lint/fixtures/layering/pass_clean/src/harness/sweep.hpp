@@ -1,0 +1,3 @@
+#pragma once
+#include "sched/fcfs.hpp"
+#include "sim/engine.hpp"

@@ -1,0 +1,3 @@
+#pragma once
+#include "sim/engine.hpp"
+#include "util/strings.hpp"

@@ -1,0 +1,8 @@
+// Must-fail: an allow annotation covering a line where no view
+// is stale is itself a finding (stale allows rot).
+void allow_without_finding(reasched::sim::JobTable& table) {
+  JobListView waiting = table.waiting_view();
+  // LINT-ALLOW(view-invalidation): nothing here needs it
+  double d = waiting.front().walltime;
+  (void)d;
+}

@@ -1,0 +1,10 @@
+// Must-fail: stale borrowed view read after a source-container mutation.
+namespace reasched::sim {
+class JobTable;
+}
+void stale_after_start(reasched::sim::JobTable& table) {
+  JobListView waiting = table.waiting_view();
+  table.start(waiting.front().id);
+  double d = waiting.front().walltime;  // stale: start() reindexed the table
+  (void)d;
+}

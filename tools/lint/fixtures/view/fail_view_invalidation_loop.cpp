@@ -1,0 +1,6 @@
+// Must-fail: container mutated inside a range-for over its own view.
+void mutate_while_iterating(reasched::sim::JobTable& table) {
+  for (const Job& job : table.waiting_view()) {
+    table.start(job.id);  // next iteration reads the reshuffled index
+  }
+}

@@ -1,0 +1,7 @@
+// Must-fail: a DecisionContext parameter borrows engine state through an
+// opaque producer, so mutating any known container invalidates it.
+void stale_context(const DecisionContext& ctx, reasched::sim::JobTable& table) {
+  table.add_job(Job{});
+  const Job* j = ctx.find_waiting(3);  // ctx views predate the add_job
+  (void)j;
+}

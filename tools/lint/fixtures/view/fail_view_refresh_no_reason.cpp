@@ -1,0 +1,8 @@
+// Must-fail: sanction annotations must say why the view is fresh.
+void annotated_without_reason(reasched::sim::JobTable& table) {
+  JobListView waiting = table.waiting_view();
+  table.arrive(7);
+  // VIEW-REFRESH
+  double d = waiting.front().walltime;
+  (void)d;
+}

@@ -1,0 +1,7 @@
+// Must-fail: a stale sanction annotation (covers no flagged read) must go.
+void refresh_with_nothing_stale(reasched::sim::JobTable& table) {
+  JobListView waiting = table.waiting_view();
+  // VIEW-REFRESH: nothing on the next line is actually invalidated
+  double d = waiting.front().walltime;
+  (void)d;
+}

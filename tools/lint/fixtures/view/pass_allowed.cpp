@@ -1,0 +1,8 @@
+// Must-pass: LINT-ALLOW with a reason suppresses one stale-use finding.
+void allowed_stale_read(reasched::sim::JobTable& table) {
+  JobListView waiting = table.waiting_view();
+  table.cancel(waiting.front().id);
+  // LINT-ALLOW(view-invalidation): test asserts on the pre-cancel snapshot semantics
+  double d = waiting.size() ? 1.0 : 0.0;
+  (void)d;
+}

@@ -1,0 +1,12 @@
+// Must-pass: read-only traffic over views, mutations only before borrowing.
+void digest(const reasched::sim::EngineCore& core) {
+  const AllocationListView running = core.cluster().running_view();
+  double acc = 0.0;
+  for (const Allocation& a : running) acc += a.end;
+  (void)acc;
+}
+void mutate_then_borrow(reasched::sim::EngineCore& core) {
+  core.step();
+  const DecisionContext ctx = core.context_for_test();
+  (void)ctx.now;
+}

@@ -1,0 +1,23 @@
+// Must-pass: the sanctioned patterns - re-derive after mutating, finish all
+// reads before mutating, or mutate-and-return out of a loop.
+void rederive_after_mutation(reasched::sim::JobTable& table) {
+  JobListView waiting = table.waiting_view();
+  table.start(waiting.front().id);
+  waiting = table.waiting_view();  // fresh borrow; reads below are fine
+  double d = waiting.empty() ? 0.0 : waiting.front().walltime;
+  (void)d;
+}
+void reads_then_mutation(reasched::sim::JobTable& table) {
+  JobListView waiting = table.waiting_view();
+  const double total = sum_walltimes(waiting);
+  table.arrive(9);  // view never read again: no finding
+  (void)total;
+}
+void mutate_and_leave_loop(reasched::sim::JobTable& table, reasched::sim::ClusterState& cluster) {
+  for (const Job& job : table.waiting_view()) {
+    if (cluster.fits(job)) {
+      start_one(table, job.id);  // opaque helper; receiver is not a mutator call
+      return;
+    }
+  }
+}

@@ -1,0 +1,9 @@
+// Must-pass: a reasoned sanction annotation covers a read the heuristic
+// cannot prove fresh (and revalidates the view from that line on).
+void sanctioned_read(reasched::sim::JobTable& table) {
+  JobListView waiting = table.waiting_view();
+  table.complete(waiting.front().id);
+  // VIEW-REFRESH: complete() pops the tail index only; front() stays stable here
+  double d = waiting.front().walltime;
+  (void)d;
+}

@@ -1,0 +1,228 @@
+#!/usr/bin/env python3
+"""Include-graph layering linter: machine-checks the dependency DAG.
+
+The repo's layers form a DAG (ARCHITECTURE.md, "Layering contract"):
+
+    util -> sim -> {sched, opt, workload, llm, core, metrics}
+         -> harness -> service -> apps
+
+An arrow means "may be included by": sim may include util, harness may
+include any middle-tier module, service may include harness, and apps sit on
+top. The middle tier is flat except core -> llm (the ReAct agent drives the
+LLM client stack); siblings there must not include each other - anything two
+of them share belongs in sim or util, and anything that needs two of them
+belongs in harness.
+
+Two rules:
+
+  layering     an `#include "mod/..."` edge from module A to module B where
+               B is not A itself and not in A's allowed dependency set. The
+               finding names the edge and A's allowed set.
+  layer-cycle  a cycle in the *file-level* include graph (two headers
+               including each other compiles by include-guard accident in
+               some TU orders and not others). The offending chain is
+               printed file by file.
+
+Escape hatch: `// LINT-ALLOW(layering): reason` on the include line (see
+lint_common.apply_allows; reasons are mandatory, stale allows are findings).
+There is deliberately no allow for layer-cycle: break the cycle.
+
+Usage:
+  layer_lint.py                                  # lint <repo>/src + <repo>/apps
+  layer_lint.py --root path/to/tree              # fixture trees
+  layer_lint.py --compile-commands build/compile_commands.json
+  layer_lint.py --print-dag                      # canonical DAG, one edge/line
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_common  # noqa: E402
+
+RULES = {
+    "layering": "include edge violating the layer DAG",
+    "layer-cycle": "cycle in the file-level include graph",
+    "lint-allow": "malformed or unused LINT-ALLOW",
+}
+
+# The canonical layer DAG: module -> modules it may include. Self-includes
+# are always legal. Pinned by tools/lint/lint_fixture_test.py so an edit here
+# is a deliberate, reviewed decision, not a drive-by.
+MIDDLE_TIER = ("sched", "opt", "workload", "llm", "core", "metrics")
+LAYER_DEPS = {
+    "util": frozenset(),
+    "sim": frozenset({"util"}),
+    "sched": frozenset({"sim", "util"}),
+    "opt": frozenset({"sim", "util"}),
+    "workload": frozenset({"sim", "util"}),
+    "llm": frozenset({"sim", "util"}),
+    "metrics": frozenset({"sim", "util"}),
+    # core (the ReAct agent) composes prompts/actions over the llm client
+    # stack; the only sanctioned middle-tier sibling edge.
+    "core": frozenset({"llm", "sim", "util"}),
+    "harness": frozenset({*MIDDLE_TIER, "sim", "util"}),
+    "service": frozenset({"harness", *MIDDLE_TIER, "sim", "util"}),
+    "apps": frozenset({"service", "harness", *MIDDLE_TIER, "sim", "util"}),
+}
+
+INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')
+
+
+def module_of(rel):
+    """Module name for a repo-relative path, or None when out of scope."""
+    parts = rel.split("/")
+    if parts[0] == "src" and len(parts) > 2 and parts[1] in LAYER_DEPS:
+        return parts[1]
+    if parts[0] == "apps":
+        return "apps"
+    return None
+
+
+def include_module(inc):
+    """Module an include path points into (quoted includes are src/-rooted)."""
+    head = inc.split("/", 1)[0]
+    return head if head in LAYER_DEPS else None
+
+
+def parse_includes(path):
+    """(line_idx, include_path) for every quoted include, skipping includes
+    that only exist inside comments or string literals."""
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    code_lines, comment_lines = lint_common.strip_code_and_comments(text)
+    out = []
+    for idx, raw in enumerate(text.split("\n")):
+        m = INCLUDE_RE.match(raw)
+        if m and idx < len(code_lines) and "include" in code_lines[idx]:
+            out.append((idx, m.group(1)))
+    return out, code_lines, comment_lines
+
+
+def find_file_cycles(include_graph):
+    """Cycles in the file-level include graph as lists of rel paths.
+    Iterative DFS with the classic white/grey/black coloring; each cycle is
+    reported once, rooted at its lexicographically smallest member so the
+    output is deterministic."""
+    WHITE, GREY, BLACK = 0, 1, 2
+    color = {f: WHITE for f in include_graph}
+    cycles = []
+    seen_cycles = set()
+    for start in sorted(include_graph):
+        if color[start] != WHITE:
+            continue
+        stack = [(start, iter(sorted(include_graph[start])))]
+        path = [start]
+        color[start] = GREY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in include_graph:
+                    continue
+                if color[nxt] == GREY:
+                    cycle = path[path.index(nxt):] + [nxt]
+                    pivot = min(cycle[:-1])
+                    canon = tuple(cycle[cycle.index(pivot):-1] + cycle[:cycle.index(pivot)])
+                    if canon not in seen_cycles:
+                        seen_cycles.add(canon)
+                        cycles.append(cycle)
+                elif color[nxt] == WHITE:
+                    color[nxt] = GREY
+                    stack.append((nxt, iter(sorted(include_graph[nxt]))))
+                    path.append(nxt)
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+                path.pop()
+    return cycles
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--root", default=None,
+                    help="tree root containing src/ (+ optional apps/); default: repo root")
+    ap.add_argument("--compile-commands", default=None,
+                    help="lint the TUs listed here (plus the src/ header walk); "
+                    "the file list source, the DAG is unchanged")
+    ap.add_argument("--print-dag", action="store_true",
+                    help="print the canonical layer DAG, one 'module: deps' line each")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule, doc in sorted(RULES.items()):
+            print(f"{rule:12s} {doc}")
+        return 0
+    if args.print_dag:
+        for mod in sorted(LAYER_DEPS):
+            print(f"{mod}: {' '.join(sorted(LAYER_DEPS[mod])) or '-'}")
+        return 0
+
+    root = os.path.abspath(args.root) if args.root else lint_common.default_root(__file__)
+
+    files = []
+    if args.compile_commands:
+        files = lint_common.compile_db_files(args.compile_commands)
+        seen = set(files)
+        for p in lint_common.walk_tree(os.path.join(root, "src"), lint_common.HEADER_EXTS):
+            if p not in seen:
+                files.append(p)
+    else:
+        for sub in ("src", "apps"):
+            d = os.path.join(root, sub)
+            if os.path.isdir(d):
+                files.extend(lint_common.walk_tree(d))
+    scoped = []
+    for path in sorted(set(files)):
+        rel = os.path.relpath(path, root).replace(os.sep, "/")
+        if module_of(rel) is not None:
+            scoped.append((path, rel))
+
+    n_findings = 0
+    include_graph = {}  # rel -> set of rel targets (file level, in-scope only)
+    for path, rel in scoped:
+        mod = module_of(rel)
+        includes, code_lines, comment_lines = parse_includes(path)
+        findings = []
+        targets = set()
+        for idx, inc in includes:
+            tmod = include_module(inc)
+            if tmod is None:
+                continue  # third-party or test-support include; out of scope
+            target_rel = "src/" + inc
+            if os.path.isfile(os.path.join(root, target_rel)):
+                targets.add(target_rel)
+            if tmod != mod and tmod not in LAYER_DEPS[mod]:
+                allowed = ", ".join(sorted(LAYER_DEPS[mod])) or "(nothing)"
+                findings.append((idx, "layering",
+                                 f'include "{inc}": {mod} -> {tmod} violates the layer DAG '
+                                 f"(modules {mod} may include: {allowed}); move the shared "
+                                 "code down a layer or invert the dependency"))
+        include_graph[rel] = targets
+        for idx, rule, msg in sorted(
+                lint_common.apply_allows(findings, code_lines, comment_lines, RULES)):
+            print(f"{rel}:{idx + 1}: [{rule}] {msg}")
+            n_findings += 1
+
+    for cycle in find_file_cycles(include_graph):
+        chain = " -> ".join(cycle)
+        print(f"{cycle[0]}:1: [layer-cycle] include cycle: {chain}")
+        n_findings += 1
+
+    if n_findings:
+        print(f"\n{n_findings} finding(s) across {len(scoped)} file(s); "
+              "see tools/lint/layer_lint.py --list-rules", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

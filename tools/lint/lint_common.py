@@ -1,0 +1,360 @@
+#!/usr/bin/env python3
+"""Shared infrastructure for the tools/lint analyzers.
+
+Three stdlib-only building blocks every linter in this directory uses:
+
+  strip_code_and_comments  the PR 7 comment/string-aware lexer: per-line
+                           (code, comment) channels with literal contents
+                           blanked, so rule scans never fire inside strings
+                           or prose.
+  apply_allows             the `// LINT-ALLOW(rule): reason` escape-hatch
+                           protocol: an allow suppresses its rule on its own
+                           line and the next code line, must carry a reason,
+                           and must suppress something (stale allows are
+                           findings themselves).
+  collect_files / check_coverage
+                           file discovery from an explicit list, a source
+                           tree, or compile_commands.json - with the
+                           coverage contract that every src/ translation
+                           unit is accounted for (a .cpp missing from the
+                           compile database is an error, not a silent skip).
+
+Keeping these in one module means a lexer fix or a protocol change lands in
+every analyzer at once instead of drifting per tool.
+"""
+
+import json
+import os
+import re
+
+ALLOW_RE = re.compile(r"LINT-ALLOW\(([a-z-]+)\)\s*(?::\s*(\S.*))?")
+
+# Every rule any analyzer in this directory owns. apply_allows() needs the
+# full registry so a LINT-ALLOW for a *sibling* linter's rule is ignored
+# (not "unknown") by the linters that do not own it - each rule's owner
+# alone judges reasons, staleness and suppression.
+ALL_RULES = frozenset({
+    # determinism_lint.py
+    "wallclock", "distribution", "unordered-iter", "sort-order", "epsilon", "coverage",
+    # layer_lint.py
+    "layering", "layer-cycle",
+    # view_lint.py
+    "view-invalidation", "view-refresh",
+    # shared
+    "lint-allow",
+})
+
+CPP_EXTS = (".cpp", ".hpp", ".cc", ".h", ".cxx", ".hxx")
+HEADER_EXTS = (".hpp", ".h", ".hxx")
+
+# ---------------------------------------------------------------------------
+# Lexer: split each line into (code, comment) with string/char literals
+# blanked out of the code channel. Handles //, /* */, "...", '...', and
+# R"delim(...)delim" raw strings well enough for this codebase.
+
+
+def strip_code_and_comments(text):
+    """Return (code_lines, comment_lines): per-line code with comments and
+    literal contents replaced by spaces, and per-line comment text."""
+    code = []
+    comments = []
+    cur_code = []
+    cur_comment = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_terminator = ""
+
+    def endline():
+        code.append("".join(cur_code))
+        comments.append("".join(cur_comment))
+        cur_code.clear()
+        cur_comment.clear()
+
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "\n":
+            if state == "line_comment":
+                state = "code"
+            endline()
+            i += 1
+            continue
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                cur_code.append("  ")
+                i += 2
+                continue
+            if c == "R" and nxt == '"':
+                m = re.match(r'R"([^(\s"]*)\(', text[i:])
+                if m:
+                    raw_terminator = ")" + m.group(1) + '"'
+                    state = "raw"
+                    cur_code.append('"')
+                    i += m.end()
+                    continue
+            if c == '"':
+                state = "string"
+                cur_code.append('"')
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                cur_code.append("'")
+                i += 1
+                continue
+            cur_code.append(c)
+            i += 1
+        elif state == "line_comment":
+            cur_comment.append(c)
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                cur_code.append("  ")
+                i += 2
+            else:
+                cur_comment.append(c)
+                i += 1
+        elif state == "string":
+            if c == "\\":
+                cur_code.append("  ")
+                i += 2
+            elif c == '"':
+                state = "code"
+                cur_code.append('"')
+                i += 1
+            else:
+                cur_code.append(" ")
+                i += 1
+        elif state == "char":
+            if c == "\\":
+                cur_code.append("  ")
+                i += 2
+            elif c == "'":
+                state = "code"
+                cur_code.append("'")
+                i += 1
+            else:
+                cur_code.append(" ")
+                i += 1
+        elif state == "raw":
+            if text.startswith(raw_terminator, i):
+                state = "code"
+                cur_code.append('"')
+                i += len(raw_terminator)
+            else:
+                cur_code.append(" " if c != "\n" else c)
+                i += 1
+    endline()
+    return code, comments
+
+
+# ---------------------------------------------------------------------------
+# LINT-ALLOW processing: an allow suppresses its rule on its own line and on
+# the next line that contains code (a multi-line explanation comment may sit
+# between the allow and the statement it covers). Allows must carry a reason
+# and must suppress something.
+
+
+def apply_allows(findings, code_lines, comment_lines, known_rules):
+    """Filter (line_idx, rule, message) findings through the LINT-ALLOW
+    protocol. Returns the kept findings (unsorted), with malformed or unused
+    allows reported under the 'lint-allow' rule."""
+
+    def allow_targets(idx):
+        targets = {idx}
+        for j in range(idx + 1, min(idx + 8, len(code_lines))):
+            if code_lines[j].strip():
+                targets.add(j)
+                break
+        return targets
+
+    allows = {}  # (line_idx, rule) -> [used]
+    kept = []
+    for idx, comment in enumerate(comment_lines):
+        for m in ALLOW_RE.finditer(comment):
+            rule, reason = m.group(1), m.group(2)
+            if rule not in known_rules or rule == "lint-allow":
+                # A rule some sibling analyzer owns is that analyzer's
+                # business; only a rule no linter knows is an error here.
+                if rule not in ALL_RULES:
+                    kept.append((idx, "lint-allow", f"unknown rule '{rule}' in LINT-ALLOW"))
+                continue
+            if not reason or not reason.strip():
+                kept.append((idx, "lint-allow",
+                             f"LINT-ALLOW({rule}) without a reason; write "
+                             f"'LINT-ALLOW({rule}): <why this site is exempt>'"))
+                # Still suppress the target rule: the actionable diagnostic is
+                # the missing reason, not a duplicate report of the finding.
+                # Mark pre-used so it cannot also count as stale.
+                allows[(idx, rule)] = [True]
+                continue
+            allows[(idx, rule)] = [False]
+
+    covered = {}  # (target_line, rule) -> allow entry
+    for (idx, rule), entry in allows.items():
+        for target in allow_targets(idx):
+            covered.setdefault((target, rule), entry)
+
+    for idx, rule, msg in findings:
+        entry = covered.get((idx, rule))
+        if entry is not None:
+            entry[0] = True
+        else:
+            kept.append((idx, rule, msg))
+    for (idx, rule), entry in sorted(allows.items()):
+        if not entry[0]:
+            kept.append((idx, "lint-allow",
+                         f"unused LINT-ALLOW({rule}): nothing on this or the next line "
+                         "triggers that rule; remove the stale allow"))
+    return kept
+
+
+# ---------------------------------------------------------------------------
+# Small parsing helpers shared by the rule scanners.
+
+
+def match_angle(code, start):
+    """code[start] == '<'; return index one past the matching '>'."""
+    depth = 0
+    i = start
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{":
+            return i  # malformed / operator<; bail out
+        i += 1
+    return n
+
+
+def range_for_heads(code_text):
+    """Yield (offset, decl, range_expr) for every range-based for head."""
+    for m in re.finditer(r"\bfor\s*\(", code_text):
+        start = m.end() - 1
+        depth = 0
+        i = start
+        n = len(code_text)
+        while i < n:
+            c = code_text[i]
+            if c == "(":
+                depth += 1
+            elif c == ")":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        head = code_text[start + 1:i]
+        if ";" in head:
+            continue  # classic for
+        # Find the top-level ':' separator (skip '::' and bracket nests).
+        d_par = d_ang = d_brk = 0
+        sep = -1
+        j = 0
+        while j < len(head):
+            c = head[j]
+            if c == "(":
+                d_par += 1
+            elif c == ")":
+                d_par -= 1
+            elif c == "[":
+                d_brk += 1
+            elif c == "]":
+                d_brk -= 1
+            elif c == "<":
+                d_ang += 1
+            elif c == ">":
+                d_ang = max(0, d_ang - 1)
+            elif c == ":":
+                if j + 1 < len(head) and head[j + 1] == ":":
+                    j += 2
+                    continue
+                if d_par == d_ang == d_brk == 0:
+                    sep = j
+                    break
+            j += 1
+        if sep < 0:
+            continue
+        yield m.start(), head[:sep], head[sep + 1:]
+
+
+# ---------------------------------------------------------------------------
+# File discovery.
+
+
+def walk_tree(root_dir, exts=CPP_EXTS):
+    files = []
+    for dirpath, _dirs, names in os.walk(root_dir):
+        for name in names:
+            if name.endswith(exts):
+                files.append(os.path.abspath(os.path.join(dirpath, name)))
+    return sorted(files)
+
+
+def compile_db_files(compile_commands_path):
+    """Absolute paths of every distinct translation unit in the database."""
+    with open(compile_commands_path, encoding="utf-8") as f:
+        db = json.load(f)
+    seen = set()
+    files = []
+    for entry in db:
+        p = os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+        if p not in seen:
+            seen.add(p)
+            files.append(p)
+    return files
+
+
+def check_coverage(db_paths, root, subtree="src"):
+    """The compile database must account for every .cpp under `subtree`:
+    a source file that silently dropped out of the build (stale CMake glob,
+    renamed file, dead TU) would otherwise be linted never rather than
+    loudly. Returns a list of repo-relative uncovered .cpp paths."""
+    covered = {os.path.abspath(p) for p in db_paths}
+    uncovered = []
+    for path in walk_tree(os.path.join(root, subtree)):
+        if not path.endswith((".cpp", ".cc", ".cxx")):
+            continue
+        if path not in covered:
+            uncovered.append(os.path.relpath(path, root).replace(os.sep, "/"))
+    return sorted(uncovered)
+
+
+def collect_files(args, root):
+    """Shared file-discovery for determinism_lint/view_lint: explicit files,
+    a compile database (library TUs + every src/ header, with the src/
+    coverage check), or a source tree. Returns (files, coverage_errors)."""
+    coverage_errors = []
+    if args.files:
+        files = [os.path.abspath(f) for f in args.files]
+    elif args.compile_commands:
+        files = compile_db_files(args.compile_commands)
+        coverage_errors = check_coverage(files, root)
+        # Headers do not appear in the database; lint the tree's headers too.
+        seen = set(files)
+        for p in walk_tree(os.path.join(root, "src"), HEADER_EXTS):
+            if p not in seen:
+                seen.add(p)
+                files.append(p)
+        if not args.all:
+            files = [f for f in files
+                     if os.path.relpath(f, root).replace(os.sep, "/").startswith("src/")]
+    else:
+        files = walk_tree(os.path.join(root, args.src_root))
+    return sorted(files), coverage_errors
+
+
+def default_root(tool_file):
+    """Repo root assuming the tool lives in <root>/tools/lint/."""
+    return os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(tool_file))))

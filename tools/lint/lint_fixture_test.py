@@ -1,79 +1,185 @@
 #!/usr/bin/env python3
-"""Fixture suite for determinism_lint.py, run as a ctest (label: lint).
+"""Fixture suite for the tools/lint analyzers, run as a ctest (label: lint).
 
-Contract, encoded in fixture file names:
-  fixtures/fail_<rule>[_variant].cpp  must trigger >= 1 finding, and every
-                                      finding must be of exactly <rule>
-  fixtures/pass_*.cpp                 must be completely clean
+Contract, encoded in fixture names (one subdirectory per linter):
 
-So a rule that stops firing breaks its must-fail fixture, and a rule that
-starts over-firing breaks the must-pass set (or another rule's must-fail
-set) — rule regressions fail like any other test.
+  fixtures/determinism/fail_<rule>[_variant].cpp   determinism_lint.py
+  fixtures/view/fail_<rule>[_variant].cpp          view_lint.py
+  fixtures/layering/fail_<rule>[_variant]/         layer_lint.py (a tree:
+                                                   src/<module>/... files)
 
-The linter is invoked with --root pointing *at* the fixture directory so the
-repo's path allowlists (tools/, bench/, ...) cannot mask fixture findings.
+A fail fixture must trigger >= 1 finding and every finding must be of
+exactly <rule> (rules are spelled with '_' in file names: fail_view_refresh
+-> view-refresh). A pass fixture/tree must be completely clean. So a rule
+that stops firing breaks its must-fail fixture, and a rule that starts
+over-firing breaks the must-pass set - rule regressions fail like any other
+test.
+
+Beyond the fixtures, two pins:
+  * the canonical layer DAG (layer_lint.py --print-dag) is asserted verbatim,
+    so an edit to LAYER_DEPS is a deliberate reviewed decision;
+  * the compile_commands.json coverage contract: a src/ TU missing from the
+    database must be reported (the silent-gap regression).
+
+File-based linters are invoked with --root/--src-root at the fixture
+directory so the repo's path allowlists cannot mask fixture findings.
 """
 
+import json
 import os
 import re
 import subprocess
 import sys
+import tempfile
 
 HERE = os.path.dirname(os.path.abspath(__file__))
-LINTER = os.path.join(HERE, "determinism_lint.py")
 FIXTURES = os.path.join(HERE, "fixtures")
 FINDING_RE = re.compile(r"^[^:]+:\d+: \[([a-z-]+)\] ")
 
+# linter script, fixture subdir, fixture shape, rules (longest spelling
+# first so fail_view_refresh_* never prefix-matches a shorter rule).
+SUITES = [
+    ("determinism_lint.py", "determinism", "file",
+     ("unordered-iter", "sort-order", "distribution", "lint-allow",
+      "wallclock", "epsilon", "coverage")),
+    ("view_lint.py", "view", "file",
+     ("view-invalidation", "view-refresh", "lint-allow")),
+    ("layer_lint.py", "layering", "tree",
+     ("layer-cycle", "layering", "lint-allow")),
+]
 
-def run_linter(path):
-    proc = subprocess.run(
-        [sys.executable, LINTER, "--root", FIXTURES, path],
-        capture_output=True, text=True, check=False)
-    rules = []
-    for line in proc.stdout.splitlines():
-        m = FINDING_RE.match(line)
-        if m:
-            rules.append(m.group(1))
-    return proc.returncode, rules, proc.stdout
+CANONICAL_DAG = """\
+apps: core harness llm metrics opt sched service sim util workload
+core: llm sim util
+harness: core llm metrics opt sched sim util workload
+llm: sim util
+metrics: sim util
+opt: sim util
+sched: sim util
+service: core harness llm metrics opt sched sim util workload
+sim: util
+util: -
+workload: sim util
+"""
+
+
+def run(cmd):
+    proc = subprocess.run(cmd, capture_output=True, text=True, check=False)
+    rules = [m.group(1) for m in
+             (FINDING_RE.match(line) for line in proc.stdout.splitlines()) if m]
+    return proc.returncode, rules, proc.stdout + proc.stderr
+
+
+def expected_rule(name, rules):
+    for rule in rules:
+        if name.startswith("fail_" + rule.replace("-", "_")):
+            return rule
+    return None
+
+
+def check_case(name, cmd, rules, failures):
+    rc, found, out = run(cmd)
+    if os.path.basename(name).startswith("pass_"):
+        if rc != 0 or found:
+            failures.append(f"{name}: expected clean, got rc={rc}:\n{out}")
+        return
+    expected = expected_rule(os.path.basename(name), rules)
+    if expected is None:
+        failures.append(f"{name}: cannot derive expected rule from fixture name")
+    elif rc != 1 or not found:
+        failures.append(f"{name}: expected >=1 [{expected}] finding, got rc={rc}:\n{out}")
+    elif set(found) != {expected}:
+        failures.append(f"{name}: expected only [{expected}], got {sorted(set(found))}:\n{out}")
+
+
+def fixture_cases():
+    cases = []
+    for linter, sub, shape, rules in SUITES:
+        directory = os.path.join(FIXTURES, sub)
+        script = os.path.join(HERE, linter)
+        names = sorted(os.listdir(directory))
+        if not any(n.startswith("fail_") for n in names) or \
+           not any(n.startswith("pass_") for n in names):
+            cases.append((f"{sub}/", None, rules, "missing fail_/pass_ cases"))
+            continue
+        for name in names:
+            if not (name.startswith("fail_") or name.startswith("pass_")):
+                cases.append((f"{sub}/{name}", None, rules,
+                              "fixture names must start with pass_ or fail_"))
+                continue
+            path = os.path.join(directory, name)
+            if shape == "file":
+                if not name.endswith(".cpp"):
+                    continue
+                if linter == "determinism_lint.py":
+                    cmd = [sys.executable, script, "--root", directory, path]
+                else:
+                    cmd = [sys.executable, script, path]
+            else:
+                cmd = [sys.executable, script, "--root", path]
+            cases.append((f"{sub}/{name}", cmd, rules, None))
+    return cases
+
+
+def check_dag_pin(failures):
+    rc, _rules, out = run([sys.executable, os.path.join(HERE, "layer_lint.py"),
+                           "--print-dag"])
+    got = {line.split(":")[0]: set(line.split(":", 1)[1].split())
+           for line in out.strip().splitlines() if ":" in line}
+    want = {line.split(":")[0]: set(line.split(":", 1)[1].split())
+            for line in CANONICAL_DAG.strip().splitlines()}
+    if rc != 0 or got != want:
+        failures.append("layer DAG pin: --print-dag diverged from the canonical DAG "
+                        f"(rc={rc}); if the layering contract really changed, update "
+                        f"CANONICAL_DAG here and ARCHITECTURE.md together:\n{out}")
+
+
+def check_coverage_gap(failures):
+    """A src/ .cpp absent from compile_commands.json must be reported."""
+    sys.path.insert(0, HERE)
+    import lint_common  # noqa: E402 (the unit under test)
+    with tempfile.TemporaryDirectory() as tmp:
+        src = os.path.join(tmp, "src", "sim")
+        os.makedirs(src)
+        covered = os.path.join(src, "covered.cpp")
+        orphan = os.path.join(src, "orphan.cpp")
+        for p in (covered, orphan):
+            with open(p, "w", encoding="utf-8") as f:
+                f.write("int x;\n")
+        db = os.path.join(tmp, "compile_commands.json")
+        with open(db, "w", encoding="utf-8") as f:
+            json.dump([{"directory": tmp, "file": covered,
+                        "command": "c++ -c covered.cpp"}], f)
+        uncovered = lint_common.check_coverage(lint_common.compile_db_files(db), tmp)
+        if uncovered != ["src/sim/orphan.cpp"]:
+            failures.append(f"coverage: expected ['src/sim/orphan.cpp'], got {uncovered}")
+    # And against the real repo database, when one exists, the linter must
+    # exit clean - i.e. no TU has silently dropped out of the build.
+    repo_db = os.path.join(os.path.dirname(os.path.dirname(HERE)),
+                           "build", "compile_commands.json")
+    if os.path.isfile(repo_db):
+        rc, rules, out = run([sys.executable,
+                              os.path.join(HERE, "determinism_lint.py"),
+                              "--compile-commands", repo_db, "--rule", "coverage"])
+        if rc != 0 or rules:
+            failures.append(f"coverage: src/ TUs missing from {repo_db} (rc={rc}):\n{out}")
 
 
 def main():
     failures = []
     checked = 0
-    names = sorted(os.listdir(FIXTURES))
-    if not any(n.startswith("fail_") for n in names) or \
-       not any(n.startswith("pass_") for n in names):
-        print("FAIL: fixture directory is missing fail_/pass_ cases")
-        return 1
-    for name in names:
-        if not name.endswith(".cpp"):
-            continue
-        path = os.path.join(FIXTURES, name)
-        rc, rules, out = run_linter(path)
+    for name, cmd, rules, err in fixture_cases():
         checked += 1
-        if name.startswith("pass_"):
-            if rc != 0 or rules:
-                failures.append(f"{name}: expected clean, got rc={rc}:\n{out}")
-        elif name.startswith("fail_"):
-            expected = None
-            for rule in ("lint-allow", "wallclock", "distribution",
-                         "unordered-iter", "sort-order", "epsilon"):
-                if name.startswith("fail_" + rule.replace("-", "_")):
-                    expected = rule
-                    break
-            if expected is None:
-                failures.append(f"{name}: cannot derive expected rule from file name")
-                continue
-            if rc != 1 or not rules:
-                failures.append(f"{name}: expected >=1 [{expected}] finding, got rc={rc}:\n{out}")
-            elif set(rules) != {expected}:
-                failures.append(
-                    f"{name}: expected only [{expected}], got {sorted(set(rules))}:\n{out}")
-        else:
-            failures.append(f"{name}: fixture names must start with pass_ or fail_")
+        if err:
+            failures.append(f"{name}: {err}")
+            continue
+        check_case(name, cmd, rules, failures)
+    check_dag_pin(failures)
+    check_coverage_gap(failures)
+    checked += 2
     for f in failures:
         print("FAIL:", f)
-    print(f"{checked - len(failures)}/{checked} fixtures behaved as named")
+    print(f"{checked - len(failures)}/{checked} lint fixture checks behaved as named")
     return 1 if failures else 0
 
 

@@ -1,0 +1,459 @@
+#!/usr/bin/env python3
+"""Borrowed-view invalidation linter.
+
+The simulator's hot path hands schedulers zero-copy views (sim::ListView and
+friends, DecisionContext, opt::ProblemView) over indexed engine state instead
+of materialized snapshots. The lifetime contract (src/sim/views.hpp,
+ARCHITECTURE.md "borrowed-view lifetimes") is: a view is valid only while the
+container it borrows from is unmodified. The compiler cannot see that
+contract - a stale view still dereferences *something* - so this linter
+checks it statically, function by function.
+
+Model (intra-procedural, heuristic by design):
+
+  * Containers with maintained mutator lists:
+        JobTable:     build, add_job, cancel, arrive, start, complete
+        ClusterState: allocate, release
+        EngineCore:   load, admit, cancel, step
+    Container variables are found by declaration scan in the linted file and
+    its companion header (same basename), so member containers like
+    EngineCore's `table_` are known inside engine_core.cpp.
+  * A view binding records its *sources*: the container variables (and,
+    transitively, other views' sources) named in its initializer. A view
+    built by an opaque call with no visible container (`context(t)`, a
+    function parameter) has UNKNOWN sources and is treated as borrowing from
+    every known container - conservative on purpose.
+  * `recv.mutator(...)` / `recv->mutator(...)` invalidates every live view
+    whose sources contain `recv`, and every UNKNOWN-source view when `recv`
+    is a known container variable. A later use of the invalidated name is
+    the finding. Rebinding/assignment revalidates with fresh sources.
+  * A range-for iterating a view (or a fresh `container.x_view()` range)
+    with a mutator call on a source container inside the loop body is
+    reported at the mutation: the next iteration reads reshuffled state.
+
+Escape hatches, both with mandatory reasons:
+  `// VIEW-REFRESH: <why this view is fresh here>` sanctions a flagged use
+    on its own or the next code line and revalidates the view from there -
+    for sites that re-derive freshness in a way the heuristic cannot see.
+    Reasonless or unused VIEW-REFRESH comments are `view-refresh` findings.
+  `// LINT-ALLOW(view-invalidation): <reason>` suppresses one finding site
+    without revalidating (lint_common protocol; stale allows are findings).
+
+Rules: view-invalidation, view-refresh, lint-allow.
+
+Usage mirrors determinism_lint.py:
+  view_lint.py [--src-root src] [--compile-commands db.json] [files...]
+
+Exit status: 0 clean, 1 findings, 2 usage error.
+"""
+
+import argparse
+import bisect
+import os
+import re
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lint_common  # noqa: E402
+
+RULES = {
+    "view-invalidation": "borrowed view used after a source-container mutation",
+    "view-refresh": "malformed or unused VIEW-REFRESH annotation",
+    "lint-allow": "malformed or unused LINT-ALLOW",
+}
+
+CONTAINERS = {
+    "JobTable": ("build", "add_job", "cancel", "arrive", "start", "complete"),
+    "ClusterState": ("allocate", "release"),
+    "EngineCore": ("load", "admit", "cancel", "step"),
+}
+MUTATORS = sorted({m for muts in CONTAINERS.values() for m in muts})
+
+VIEW_TYPE_PAT = (
+    r"(?:reasched::)?(?:sim::|opt::)?"
+    r"(?:ListView\s*<[^;{}]*?>|JobListView|CompletedListView|AllocationListView"
+    r"|DecisionContext|ProblemView)"
+)
+BIND_RE = re.compile(rf"\b(?:const\s+)?{VIEW_TYPE_PAT}\s*(?:&\s*)?(\w+)\s*(=(?!=)|\{{|;|,|\))")
+CONT_NAMES = "|".join(CONTAINERS)
+CONT_DECL_RE = re.compile(
+    rf"\b(?:reasched::)?(?:sim::)?({CONT_NAMES})\b\s*(?:&\s*|\*\s*)?(\w+)\s*[;={{(,)]")
+PTR_DECL_RE = re.compile(
+    rf"\bunique_ptr\s*<\s*(?:reasched::)?(?:sim::)?({CONT_NAMES})\s*>\s*(\w+)")
+MUT_RE = re.compile(rf"\b(\w+)\s*(?:\.|->)\s*({'|'.join(MUTATORS)})\s*\(")
+ASSIGN_RE = re.compile(r"\b(\w+)\s*=(?![=<>])")
+REFRESH_RE = re.compile(r"VIEW-REFRESH\s*(?::\s*(\S.*))?")
+
+UNKNOWN = None  # sources sentinel: borrows from "some engine state"
+
+
+class View:
+    __slots__ = ("decl_depth", "sources", "valid", "inert",
+                 "inv_line", "inv_desc", "scan_from", "reported")
+
+    def __init__(self, decl_depth, sources, inert=False):
+        self.decl_depth = decl_depth
+        self.sources = sources  # frozenset of container vars, or UNKNOWN
+        self.valid = True
+        self.inert = inert  # default-constructed: holds nothing yet
+        self.inv_line = self.inv_desc = None
+        self.scan_from = 0
+        self.reported = False
+
+
+def container_vars_of(path, text_code):
+    """Container-typed variable names declared in this file's code channel
+    plus its companion header (foo.cpp <-> foo.hpp/.h), so .cpp member
+    function bodies know the containers their class declares."""
+    names = {}
+    texts = [text_code]
+    base, ext = os.path.splitext(path)
+    if ext not in (".hpp", ".h", ".hxx"):
+        for hext in (".hpp", ".h", ".hxx"):
+            companion = base + hext
+            if os.path.isfile(companion):
+                with open(companion, encoding="utf-8", errors="replace") as f:
+                    code_lines, _ = lint_common.strip_code_and_comments(f.read())
+                texts.append("\n".join(code_lines))
+                break
+    for code in texts:
+        for m in CONT_DECL_RE.finditer(code):
+            names[m.group(2)] = m.group(1)
+        for m in PTR_DECL_RE.finditer(code):
+            names[m.group(2)] = m.group(1)
+    return names
+
+
+def statement_end(code, start):
+    """Offset one past the ';' ending the statement at `start` (balance-aware
+    for (), {}, [] so initializer lists and lambdas do not end early)."""
+    depth = 0
+    i = start
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c in "({[":
+            depth += 1
+        elif c in ")}]":
+            depth -= 1
+        elif c == ";" and depth <= 0:
+            return i + 1
+        i += 1
+    return n
+
+
+def init_sources(init_text, container_vars, views):
+    """(sources, inert) for a view initializer: named containers plus the
+    sources of any live view it derives from; opaque calls -> UNKNOWN."""
+    ids = set(re.findall(r"[A-Za-z_]\w*", init_text))
+    sources = {v for v in container_vars if v in ids}
+    unknown = False
+    derived = False
+    for name, view in views.items():
+        if name in ids and not view.inert:
+            derived = True
+            if view.sources is UNKNOWN:
+                unknown = True
+            else:
+                sources.update(view.sources)
+    if unknown:
+        return UNKNOWN, False
+    if sources:
+        return frozenset(sources), False
+    if "(" in init_text and (derived or ids):
+        return UNKNOWN, False  # opaque producer call; assume engine state
+    return frozenset(), True  # `{}` / empty: holds nothing
+
+
+def body_span(code, head_off):
+    """(start, end) offsets of a for-loop body whose head starts at the
+    'for' keyword offset."""
+    i = code.find("(", head_off)
+    depth = 0
+    n = len(code)
+    while i < n:
+        c = code[i]
+        if c == "(":
+            depth += 1
+        elif c == ")":
+            depth -= 1
+            if depth == 0:
+                break
+        i += 1
+    j = i + 1
+    while j < n and code[j] in " \t\n":
+        j += 1
+    if j < n and code[j] == "{":
+        depth = 0
+        k = j
+        while k < n:
+            if code[k] == "{":
+                depth += 1
+            elif code[k] == "}":
+                depth -= 1
+                if depth == 0:
+                    return j, k + 1
+            k += 1
+        return j, n
+    return j, statement_end(code, j)
+
+
+def src_desc(sources):
+    if sources is UNKNOWN:
+        return "engine state via an opaque call"
+    return "'" + "', '".join(sorted(sources)) + "'"
+
+
+def lint_file(path, root):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    code_lines, comment_lines = lint_common.strip_code_and_comments(text)
+    code = "\n".join(code_lines)
+    line_starts = [0]
+    for line in code_lines[:-1]:
+        line_starts.append(line_starts[-1] + len(line) + 1)
+
+    def line_of(off):
+        return bisect.bisect_right(line_starts, off) - 1
+
+    container_vars = container_vars_of(path, code)
+
+    # VIEW-REFRESH annotations: refresh_lines maps a covered code line to its
+    # annotation entry [used, ann_line]; same own-line + next-code-line
+    # coverage as LINT-ALLOW.
+    findings = []
+    refresh_lines = {}
+    refresh_entries = []
+    for idx, comment in enumerate(comment_lines):
+        m = REFRESH_RE.search(comment)
+        if not m:
+            continue
+        reasonless = not m.group(1) or not m.group(1).strip()
+        if reasonless and not comment.strip().startswith("VIEW-REFRESH"):
+            continue  # prose mentioning the token, not an annotation
+        if reasonless:
+            findings.append((idx, "view-refresh",
+                            "VIEW-REFRESH without a reason; write "
+                            "'VIEW-REFRESH: <why the view is fresh here>'"))
+        # A reasonless annotation still sanctions its target - the one
+        # actionable diagnostic is the missing reason (same policy as
+        # LINT-ALLOW) - so mark it pre-used; it cannot also count as stale.
+        entry = [reasonless, idx]
+        refresh_entries.append(entry)
+        refresh_lines[idx] = entry
+        for j in range(idx + 1, min(idx + 8, len(code_lines))):
+            if code_lines[j].strip():
+                refresh_lines.setdefault(j, entry)
+                break
+
+    # Event streams, merged by offset.
+    events = []  # (offset, order, kind, payload)
+    for m in re.finditer(r"[{}]", code):
+        events.append((m.start(), 1, "brace", m.group()))
+    bind_spans = []
+    for m in BIND_RE.finditer(code):
+        events.append((m.start(), 0, "bind", m))
+        bind_spans.append((m.start(), m.end()))
+    for m in MUT_RE.finditer(code):
+        events.append((m.start(), 0, "mut", m))
+    for m in ASSIGN_RE.finditer(code):
+        if not any(s <= m.start() < e for s, e in bind_spans):
+            events.append((m.start(), 0, "assign", m))
+    loops = []  # (sources, body_start, body_end, range_desc) - filled lazily
+    for off, _decl, range_expr in lint_common.range_for_heads(code):
+        events.append((off, 0, "rfor", range_expr))
+    events.sort(key=lambda e: (e[0], e[1]))
+
+    views = {}
+    depth = 0
+    name_res = {}
+
+    def uses_of(name):
+        if name not in name_res:
+            name_res[name] = re.compile(rf"(?<![.\w:>]){re.escape(name)}\b")
+        return name_res[name]
+
+    def flush(name, view, end_off):
+        """Scan [scan_from, end_off) for uses of an invalidated view."""
+        if view.valid or view.reported:
+            view.scan_from = max(view.scan_from, end_off)
+            return
+        for m in uses_of(name).finditer(code, view.scan_from, end_off):
+            line = line_of(m.start())
+            entry = refresh_lines.get(line)
+            if entry is not None:
+                entry[0] = True
+                view.valid = True
+                view.inv_line = view.inv_desc = None
+                break
+            findings.append((line, "view-invalidation",
+                             f"view '{name}' (borrowed from {src_desc(view.sources)}) "
+                             f"used after '{view.inv_desc}' at line {view.inv_line + 1} "
+                             "invalidated it; re-derive the view after the mutation, or "
+                             "annotate a provably-fresh site with "
+                             "// VIEW-REFRESH: <why>"))
+            view.reported = True
+            break
+        view.scan_from = max(view.scan_from, end_off)
+
+    def flush_all(end_off):
+        for name, view in views.items():
+            flush(name, view, end_off)
+
+    for off, _order, kind, payload in events:
+        flush_all(off)
+        if kind == "brace":
+            if payload == "{":
+                depth += 1
+            else:
+                depth -= 1
+                for name in [n for n, v in views.items() if v.decl_depth > depth]:
+                    flush(name, views[name], off)
+                    del views[name]
+        elif kind == "bind":
+            m = payload
+            name, delim = m.group(1), m.group(2)
+            if delim in (",", ")"):
+                # Parameter only when this is a definition (a '{' body opens
+                # before the next ';'): pure declarations bind nothing.
+                next_semi = code.find(";", m.end())
+                next_brace = code.find("{", m.end())
+                if next_brace == -1 or (next_semi != -1 and next_semi < next_brace):
+                    continue
+                views[name] = View(depth + 1, UNKNOWN)
+                views[name].scan_from = m.end()
+            elif delim == ";":
+                views[name] = View(depth, frozenset(), inert=True)
+                views[name].scan_from = m.end()
+            else:  # '=' or '{' initializer
+                end = statement_end(code, m.end() - 1)
+                sources, inert = init_sources(code[m.end() - 1:end], container_vars, views)
+                views[name] = View(depth, sources, inert=inert)
+                views[name].scan_from = end
+                entry = refresh_lines.get(line_of(m.start()))
+                if entry is not None:
+                    entry[0] = True  # annotated re-derivation site
+        elif kind == "assign":
+            m = payload
+            name = m.group(1)
+            view = views.get(name)
+            if view is None:
+                continue
+            end = statement_end(code, m.end())
+            sources, inert = init_sources(code[m.end():end], container_vars, views)
+            view.sources, view.inert = sources, inert
+            view.valid, view.reported = True, False
+            view.inv_line = view.inv_desc = None
+            view.scan_from = end
+            entry = refresh_lines.get(line_of(m.start()))
+            if entry is not None:
+                entry[0] = True
+        elif kind == "rfor":
+            range_expr = payload.strip()
+            sources, inert = init_sources(range_expr, container_vars, views)
+            if inert and sources is not UNKNOWN and not sources:
+                # Plain vector/array iteration: check whether the range *is*
+                # a view-producing call on a container we cannot name.
+                if not re.search(r"_view\s*\(", range_expr):
+                    continue
+                sources = UNKNOWN
+            loops.append((sources, *body_span(code, off)[0:2], range_expr))
+        elif kind == "mut":
+            m = payload
+            recv, mut = m.group(1), m.group(2)
+            known = recv in container_vars
+            if not known and recv not in {s for v in views.values()
+                                          if v.sources
+                                          for s in v.sources} \
+                    and not any(lp[0] is not UNKNOWN and recv in lp[0] for lp in loops):
+                continue  # e.g. unique_ptr::release(), unrelated .start(...)
+            line = line_of(m.start())
+            desc = f"{recv}{'->' if '->' in m.group(0) else '.'}{mut}(...)"
+            for view in views.values():
+                if view.inert or not view.valid:
+                    continue
+                hit = (view.sources is UNKNOWN and known) or \
+                      (view.sources is not UNKNOWN and recv in view.sources)
+                if hit:
+                    view.valid = False
+                    view.inv_line, view.inv_desc = line, desc
+                    view.reported = False
+                    view.scan_from = max(view.scan_from, statement_end(code, m.start()))
+            for sources, b_start, b_end, range_desc in loops:
+                if not (b_start <= m.start() < b_end):
+                    continue
+                hit = (sources is UNKNOWN and known) or \
+                      (sources is not UNKNOWN and recv in sources)
+                if hit:
+                    findings.append((line, "view-invalidation",
+                                     f"'{desc}' mutates a container inside a range-for "
+                                     f"over a view borrowed from it (`{range_desc}`); "
+                                     "the loop's next dereference reads reshuffled "
+                                     "state - break/return after the mutation or "
+                                     "collect ids first and mutate after the loop"))
+    flush_all(len(code))
+
+    for used, idx in refresh_entries:
+        if not used:
+            findings.append((idx, "view-refresh",
+                             "unused VIEW-REFRESH: no tracked view is re-derived or "
+                             "read on this or the next code line; remove the stale "
+                             "annotation"))
+
+    rel = os.path.relpath(path, root).replace(os.sep, "/")
+    out = []
+    for idx, rule, msg in sorted(
+            lint_common.apply_allows(findings, code_lines, comment_lines, RULES)):
+        out.append(f"{rel}:{idx + 1}: [{rule}] {msg}")
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("files", nargs="*", help="explicit files; default: tree walk")
+    ap.add_argument("--src-root", default="src")
+    ap.add_argument("--compile-commands", default=None)
+    ap.add_argument("--all", action="store_true",
+                    help="with --compile-commands, lint tests/apps TUs too")
+    ap.add_argument("--rules", default=None,
+                    help="comma-separated subset of rules to report")
+    ap.add_argument("--list-rules", action="store_true")
+    args = ap.parse_args()
+
+    if args.list_rules:
+        for rule, doc in sorted(RULES.items()):
+            print(f"{rule:18s} {doc}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = {r.strip() for r in args.rules.split(",") if r.strip()}
+        unknown = rules - set(RULES)
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    root = lint_common.default_root(__file__)
+    files, _coverage = lint_common.collect_files(args, root)
+
+    n = 0
+    for path in files:
+        if not os.path.isfile(path):
+            print(f"{path}: no such file", file=sys.stderr)
+            return 2
+        for line in lint_file(path, root):
+            rule = line.split("[", 1)[1].split("]", 1)[0]
+            if rules is not None and rule not in rules:
+                continue
+            print(line)
+            n += 1
+    if n:
+        print(f"\n{n} finding(s) across {len(files)} file(s); "
+              "see tools/lint/view_lint.py --list-rules", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
