@@ -16,6 +16,12 @@
 // --trace-out writes the decision trace (exact times) on exit - the
 // artifact CI diffs bit-for-bit between an uninterrupted session and a
 // checkpoint/kill/restore/resume one.
+//
+// Telemetry (all observe-only; decisions are bit-identical with or without):
+//   --obs                 enable the metrics registry + span tracer
+//   --obs-trace-out PATH  write a Chrome trace-event JSON (Perfetto) on exit
+//   --runlog-out PATH     stream one row per completed job (.jsonl or CSV)
+//   {"op":"stats"}        live registry snapshot over the protocol
 
 #include <cstdio>
 #include <fstream>
@@ -23,6 +29,9 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/runlog.hpp"
+#include "obs/trace.hpp"
 #include "service/protocol.hpp"
 #include "service/service_engine.hpp"
 #include "service/session.hpp"
@@ -43,6 +52,9 @@ void print_usage() {
       "  --enforce-walltime     kill jobs at their walltime estimate\n"
       "  --restore PATH         resume from a snapshot (overrides the flags above)\n"
       "  --trace-out PATH       write the decision trace (JSON lines) on exit\n"
+      "  --obs                  enable telemetry (metrics registry + span tracer)\n"
+      "  --obs-trace-out PATH   write a Chrome trace-event JSON on exit (implies --obs)\n"
+      "  --runlog-out PATH      stream completed-job rows (.jsonl = JSON lines, else CSV)\n"
       "  --stress-submitters N  run the concurrent smoke instead of the stdin loop\n"
       "  --stress-requests N    requests per stress submitter (default 64)\n");
 }
@@ -80,6 +92,14 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (args.has("obs") || args.has("obs-trace-out")) obs::set_enabled(true);
+  if (args.has("runlog-out")) {
+    // Attached after construction, so it works for --restore sessions too
+    // (telemetry is not part of the snapshot: observe-only state).
+    engine->set_runlog(std::make_shared<obs::RunLog>(
+        obs::make_file_sink(args.get("runlog-out", "")), service::ServiceEngine::runlog_columns()));
+  }
+
   service::LoopStats stats;
   const auto n_stress = static_cast<std::size_t>(args.get_int("stress-submitters", 0));
   if (n_stress > 0) {
@@ -102,6 +122,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     f << service::render_decision_trace(engine->schedule_view());
+  }
+  if (args.has("obs-trace-out")) {
+    try {
+      obs::TraceRecorder::global().save_chrome_trace(args.get("obs-trace-out", ""));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "reasched_service: %s\n", e.what());
+      return 1;
+    }
   }
   return 0;
 }

@@ -5,6 +5,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
@@ -45,7 +46,19 @@ inline std::vector<std::string> latency_stat_cells(const std::vector<double>& xs
 /// BENCH_baseline.json (>25% drop on a gated metric fails the job).
 class BenchJson {
  public:
-  void add(const std::string& name, double value) { entries_.emplace_back(name, value); }
+  /// Duplicate names would emit duplicate JSON keys, which every parser
+  /// downstream (compare_bench.py included) collapses last-wins - a silent
+  /// drop of the first measurement. A bench emitting the same metric twice
+  /// is a bug in the bench, so fail loudly here.
+  void add(const std::string& name, double value) {
+    for (const auto& [existing, v] : entries_) {
+      (void)v;
+      if (existing == name) {
+        throw std::logic_error("BenchJson: duplicate metric name \"" + name + "\"");
+      }
+    }
+    entries_.emplace_back(name, value);
+  }
 
   /// Write to `path` when non-empty (the --json flag's argument).
   void save_if(const std::string& path) const {

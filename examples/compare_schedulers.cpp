@@ -12,6 +12,7 @@
 //   ./examples/compare_schedulers [--scenario SPEC] [--jobs 60] [--seed 42]
 //                                 [--threads 0] [--static] [--extensions] [--raw]
 //                                 [--method SPEC]... [--list-methods] [--list-scenarios]
+//                                 [--obs] [--trace-out trace.json] [--runlog-out cells.csv]
 //   ./examples/compare_schedulers --scenario "mix(long_job:0.2,resource_sparse:0.8)" \
 //       --method fcfs --method "opt:portfolio?budget=2000&window=sjf:64"
 //   ./examples/compare_schedulers \
@@ -19,10 +20,18 @@
 
 #include <cstdio>
 #include <iostream>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
 
+#include "harness/export.hpp"
 #include "harness/method_spec.hpp"
 #include "harness/sweep.hpp"
 #include "metrics/report.hpp"
+#include "obs/metrics_registry.hpp"
+#include "obs/runlog.hpp"
+#include "obs/trace.hpp"
 #include "util/cli.hpp"
 #include "workload/generator.hpp"
 #include "workload/scenario_spec.hpp"
@@ -52,8 +61,14 @@ void print_usage(std::ostream& os, const char* argv0) {
      << "                     name[?key=value&...], e.g. fcfs or\n"
      << "                     \"opt:portfolio?budget=2000&window=sjf:64\". When given,\n"
      << "                     replaces the default paper panel.\n"
+     << "  --trace-out PATH   Write a Chrome trace-event JSON (load in Perfetto) of the\n"
+     << "                     sampled decision/step spans on exit (implies --obs)\n"
+     << "  --runlog-out PATH  Stream one row per finished grid cell (.jsonl = JSON\n"
+     << "                     lines, else CSV); rows arrive in completion order\n"
      << "\n"
      << "Flags:\n"
+     << "  --obs              Enable telemetry (metrics registry + span tracer).\n"
+     << "                     Observe-only: results are bit-identical either way\n"
      << "  --list-methods     Print every registered method with its parameters and exit\n"
      << "  --list-scenarios   Print every registered scenario and transform and exit\n"
      << "  --static           All jobs submitted at t=0 instead of Poisson arrivals\n"
@@ -150,16 +165,36 @@ int main(int argc, char** argv) {
                                                                     : "Poisson",
               scenario.to_string().c_str(), info != nullptr ? info->doc.c_str() : "");
 
-  const auto results = harness::run_sweep(config);
+  if (args.has("obs") || args.has("trace-out")) obs::set_enabled(true);
+  std::shared_ptr<obs::RunLog> runlog;
+  if (args.has("runlog-out")) {
+    runlog = std::make_shared<obs::RunLog>(obs::make_file_sink(args.get("runlog-out", "")),
+                                           harness::cell_runlog_columns());
+  }
+
+  // The streaming sweep: identical cells, seeding and results as run_sweep,
+  // but each outcome is seen once by on_cell (serialized, completion order)
+  // and then dropped. The table only needs each cell's metrics + overhead
+  // summary, so keep those; the run log, when attached, gets one row per
+  // cell as it finishes.
+  std::map<harness::Cell, std::pair<metrics::MetricSet, std::optional<harness::OverheadSummary>>>
+      outcomes;
+  harness::run_sweep_streaming(
+      config, [&](const harness::Cell& cell, const harness::RunOutcome& outcome) {
+        outcomes[cell] = {outcome.metrics, outcome.overhead};
+        if (runlog) runlog->append(harness::cell_runlog_row(cell, outcome));
+      });
+  if (runlog) runlog->flush();
 
   std::vector<metrics::MethodResult> rows;
   for (const auto& method : config.methods) {
-    const auto& outcome = results.at(harness::Cell{scenario, n_jobs, method, 0});
-    rows.push_back({harness::method_name(method), outcome.metrics});
-    if (outcome.overhead) {
+    const auto& [cell_metrics, overhead] =
+        outcomes.at(harness::Cell{scenario, n_jobs, method, 0});
+    rows.push_back({harness::method_name(method), cell_metrics});
+    if (overhead) {
       std::printf("  %-12s %3zu LLM calls, %.0f s simulated API time\n",
-                  harness::method_name(method).c_str(), outcome.overhead->n_calls,
-                  outcome.overhead->total_elapsed_s);
+                  harness::method_name(method).c_str(), overhead->n_calls,
+                  overhead->total_elapsed_s);
     }
   }
   const std::string anchor = harness::method_name(config.methods.front());
@@ -167,5 +202,13 @@ int main(int argc, char** argv) {
               "makespan/wait/turnaround; higher for the rest; n/a = undefined 0/0):\n\n%s",
               anchor.c_str(),
               metrics::render_normalized_table(rows, anchor, args.has("raw")).c_str());
+  if (args.has("trace-out")) {
+    try {
+      obs::TraceRecorder::global().save_chrome_trace(args.get("trace-out", ""));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+  }
   return 0;
 }

@@ -38,6 +38,16 @@ class ReActAgent final : public sim::Scheduler {
   std::string name() const override { return profile_.display_name; }
   void reset() override;
 
+  /// LLM-call totals (calls, token counts, parse failures) for decision
+  /// spans and stats snapshots - the live form of the paper's S3.7.1
+  /// overhead accounting.
+  std::vector<std::pair<std::string, double>> obs_counters() const override {
+    return {{"llm/calls", static_cast<double>(transcript_.n_calls())},
+            {"llm/prompt_tokens", static_cast<double>(transcript_.total_prompt_tokens())},
+            {"llm/completion_tokens", static_cast<double>(transcript_.total_completion_tokens())},
+            {"agent/parse_failures", static_cast<double>(parse_failures_)}};
+  }
+
   const llm::Transcript& transcript() const { return transcript_; }
   const Scratchpad& scratchpad() const { return scratchpad_; }
   std::size_t parse_failures() const { return parse_failures_; }

@@ -146,4 +146,19 @@ void save_run_json(const RunOutcome& outcome, const std::string& method_name,
   f << run_to_json(outcome, method_name);
 }
 
+std::vector<std::string> cell_runlog_columns() {
+  std::vector<std::string> cols{"scenario", "jobs", "method", "rep"};
+  for (const auto metric : metrics::all_metrics()) cols.push_back(metrics::to_string(metric));
+  return cols;
+}
+
+std::vector<std::string> cell_runlog_row(const Cell& cell, const RunOutcome& outcome) {
+  std::vector<std::string> row{cell.scenario.to_string(), std::to_string(cell.n_jobs),
+                               cell.method.to_string(), std::to_string(cell.repetition)};
+  for (const auto metric : metrics::all_metrics()) {
+    row.push_back(util::format_double_exact(outcome.metrics.get(metric)));
+  }
+  return row;
+}
+
 }  // namespace reasched::harness

@@ -1,8 +1,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/sweep.hpp"
 #include "util/csv.hpp"
 #include "workload/scenario_spec.hpp"
 
@@ -54,5 +56,16 @@ std::string run_to_json(const RunOutcome& outcome, const MethodSpec& method,
 /// Convenience: write run_to_json to a file.
 void save_run_json(const RunOutcome& outcome, const std::string& method_name,
                    const std::string& path);
+
+/// Column names of a per-cell streaming run-log row (obs::RunLog): the cell
+/// key (canonical scenario spec, jobs, canonical method spec, repetition)
+/// followed by one column per metric in `metrics::all_metrics()` order.
+std::vector<std::string> cell_runlog_columns();
+
+/// One row matching cell_runlog_columns(); doubles are round-trip exact.
+/// Pairs with `run_sweep_streaming`'s on_cell hook: rows arrive in cell
+/// *completion* order (nondeterministic under threads), so consumers sort
+/// by the leading key columns when order matters.
+std::vector<std::string> cell_runlog_row(const Cell& cell, const RunOutcome& outcome);
 
 }  // namespace reasched::harness

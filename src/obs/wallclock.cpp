@@ -1,0 +1,12 @@
+#include "obs/wallclock.hpp"
+
+#include <chrono>
+
+namespace reasched::obs {
+
+double monotonic_us() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::micro>(now).count();
+}
+
+}  // namespace reasched::obs

@@ -1,0 +1,15 @@
+#pragma once
+
+namespace reasched::obs {
+
+/// Monotonic wall-clock reading in microseconds since an arbitrary epoch.
+///
+/// This is the ONLY sanctioned wall-clock entry point in src/: the
+/// determinism lint allowlists exactly this TU (src/obs/wallclock.cpp), so
+/// every clock read in the library is forced through here and stays inside
+/// the observability layer. Span durations and trace timestamps come from
+/// this function; nothing downstream may feed the value into a scheduling
+/// decision - telemetry observes the run, it never steers it.
+double monotonic_us();
+
+}  // namespace reasched::obs

@@ -21,11 +21,29 @@ void OptimizingScheduler::reset() {
   window_scratch_.clear();
   insertions_since_reopt_ = 0;
   replans_ = 0;
+  eval_totals_ = EvalStats{};
+  bnb_nodes_ = 0;
   tuned_sa_iterations_ = 0;
   tuned_ls_evals_ = 0;
   tuned_for_n_ = 0;
   probe_sink_ = 0.0;
   last_thought_.clear();
+}
+
+void OptimizingScheduler::accumulate_eval(const EvalStats& stats) {
+  eval_totals_.evaluations += stats.evaluations;
+  eval_totals_.cutoff_hits += stats.cutoff_hits;
+  eval_totals_.steps_decoded += stats.steps_decoded;
+  eval_totals_.steps_reused += stats.steps_reused;
+}
+
+std::vector<std::pair<std::string, double>> OptimizingScheduler::obs_counters() const {
+  return {{"opt/replans", static_cast<double>(replans_)},
+          {"opt/evaluations", static_cast<double>(eval_totals_.evaluations)},
+          {"opt/cutoff_hits", static_cast<double>(eval_totals_.cutoff_hits)},
+          {"opt/steps_decoded", static_cast<double>(eval_totals_.steps_decoded)},
+          {"opt/steps_reused", static_cast<double>(eval_totals_.steps_reused)},
+          {"opt/bnb_nodes", static_cast<double>(bnb_nodes_)}};
 }
 
 void OptimizingScheduler::tune_budget(const ProblemView& problem) {
@@ -62,6 +80,7 @@ void OptimizingScheduler::tune_budget(const ProblemView& problem) {
       if (elapsed_us > 2000.0) break;
     }
   }
+  eval_totals_.evaluations += evals;  // probe evaluations, kept observable
   const double us_per_eval = std::max(1e-3, elapsed_us / static_cast<double>(evals));
   const double target_evals = config_.auto_budget_ms * 1000.0 / us_per_eval;
   // ~2/3 of the replan budget to SA, the rest across the two LS passes.
@@ -77,6 +96,7 @@ void OptimizingScheduler::full_replan(const ProblemView& problem) {
     BnbConfig bnb;
     bnb.eval = config_.eval;
     const BnbResult exact = branch_and_bound(problem, config_.weights, bnb);
+    bnb_nodes_ += exact.explored;
     priority_.clear();
     for (const std::size_t idx : exact.order) priority_.push_back(problem.job(idx).id);
     last_thought_ = util::format("replan: branch-and-bound over %zu jobs (%zu nodes, %s)",
@@ -116,6 +136,10 @@ void OptimizingScheduler::full_replan(const ProblemView& problem) {
   auto sa = simulated_annealing(problem, std::move(ls.order), config_.weights, sa_config, rng_);
   auto polished =
       local_search(problem, std::move(sa.order), config_.weights, ls_evals / 2, config_.eval);
+  accumulate_eval(seed_eval.stats());
+  accumulate_eval(ls.eval);
+  accumulate_eval(sa.eval);
+  accumulate_eval(polished.eval);
   priority_.clear();
   for (const std::size_t idx : polished.order) priority_.push_back(problem.job(idx).id);
   if (config_.auto_budget) {
@@ -178,6 +202,7 @@ void OptimizingScheduler::insert_new_jobs(const ProblemView& problem) {
     priority_.insert(priority_.begin() + static_cast<std::ptrdiff_t>(best_pos), id);
     ++insertions_since_reopt_;
   }
+  accumulate_eval(eval.stats());
   if (insertions_since_reopt_ >= config_.reopt_every) {
     full_replan(problem);
   }

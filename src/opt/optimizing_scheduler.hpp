@@ -65,10 +65,15 @@ class OptimizingScheduler final : public sim::Scheduler {
   /// Number of full plan computations performed (observability for tests).
   std::size_t replans() const { return replans_; }
 
+  /// Lifetime solver counters (replans, incremental-evaluation totals, BnB
+  /// nodes), sampled into decision spans and stats snapshots.
+  std::vector<std::pair<std::string, double>> obs_counters() const override;
+
  private:
   void full_replan(const ProblemView& problem);
   void insert_new_jobs(const ProblemView& problem);
   void tune_budget(const ProblemView& problem);
+  void accumulate_eval(const EvalStats& stats);
 
   OptimizingSchedulerConfig config_;
   util::Rng rng_;
@@ -78,6 +83,10 @@ class OptimizingScheduler final : public sim::Scheduler {
   std::vector<std::uint32_t> window_scratch_;
   std::size_t insertions_since_reopt_ = 0;
   std::size_t replans_ = 0;
+  /// Observe-only lifetime totals across every evaluator/solver the
+  /// portfolio ran; never read back into planning.
+  EvalStats eval_totals_;
+  std::size_t bnb_nodes_ = 0;
   /// budget=auto calibration state (valid while the queue size stays within
   /// 2x of tuned_for_n_).
   std::size_t tuned_sa_iterations_ = 0;

@@ -103,11 +103,13 @@ Request parse_request(const std::string& line) {
       throw ProtocolError("request: checkpoint needs a string \"path\"");
     }
     req.path = doc.at("path").as_string();
+  } else if (op == "stats") {
+    req.op = Request::Op::kStats;
   } else if (op == "shutdown") {
     req.op = Request::Op::kShutdown;
   } else {
     throw ProtocolError(util::format(
-        "request: unknown op \"%s\" (submit|query|cancel|advance|drain|checkpoint|shutdown)",
+        "request: unknown op \"%s\" (submit|query|cancel|advance|drain|checkpoint|stats|shutdown)",
         op.c_str()));
   }
   return req;
@@ -189,6 +191,40 @@ std::string render_checkpoint(const std::string& path, std::uint64_t digest) {
   util::JsonWriter w;
   w.begin_object().kv("ok", true).kv("op", "checkpoint").kv("path", path);
   w.kv("digest", util::format("%016llx", static_cast<unsigned long long>(digest)));
+  w.end_object();
+  return w.str();
+}
+
+std::string render_stats(bool obs_enabled, const obs::RegistrySnapshot& registry,
+                         const obs::TraceStats& spans) {
+  util::JsonWriter w;
+  w.begin_object().kv("ok", true).kv("op", "stats");
+  w.kv("obs_enabled", obs_enabled);
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : registry.counters) w.kv(name, static_cast<long long>(value));
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& [name, value] : registry.gauges) w.kv_exact(name, value);
+  w.end_object();
+  w.key("histograms").begin_object();
+  for (const auto& [name, h] : registry.histograms) {
+    w.key(name).begin_object();
+    w.key("bounds").begin_array();
+    for (const double b : h.bounds) w.value(b);
+    w.end_array();
+    w.key("counts").begin_array();
+    for (const std::uint64_t c : h.counts) w.value(static_cast<long long>(c));
+    w.end_array();
+    w.kv("count", static_cast<long long>(h.count));
+    w.kv_exact("sum", h.sum);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("spans").begin_object();
+  w.kv("recorded", spans.recorded);
+  w.kv("dropped", spans.dropped);
+  w.kv("capacity", spans.capacity);
+  w.end_object();
   w.end_object();
   return w.str();
 }

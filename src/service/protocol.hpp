@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "service/service_engine.hpp"
 #include "sim/job.hpp"
 #include "util/json_parser.hpp"
@@ -21,6 +23,7 @@ namespace reasched::service {
 ///   {"op":"advance","to":3600}                            -> process events up to t
 ///   {"op":"drain"}                                        -> run to completion + metrics
 ///   {"op":"checkpoint","path":"snap.json"}                -> write a snapshot
+///   {"op":"stats"}                                        -> live telemetry snapshot
 ///   {"op":"shutdown"}                                     -> close the session
 ///
 /// Every error - parse failure, unknown op, rejected operation - is a
@@ -35,7 +38,7 @@ class ProtocolError : public std::runtime_error {
 };
 
 struct Request {
-  enum class Op { kSubmit, kQuery, kCancel, kAdvance, kDrain, kCheckpoint, kShutdown };
+  enum class Op { kSubmit, kQuery, kCancel, kAdvance, kDrain, kCheckpoint, kStats, kShutdown };
   Op op = Op::kQuery;
   sim::Job job;          ///< kSubmit
   bool has_id = false;   ///< kQuery: id present?
@@ -62,6 +65,11 @@ std::string render_job_state(sim::JobId id, sim::JobState state);
 std::string render_advance(const ServiceStatus& status);
 std::string render_drain(const DrainResult& result);
 std::string render_checkpoint(const std::string& path, std::uint64_t digest);
+/// Live telemetry snapshot as one JSON line: the registry's counters,
+/// gauges and histograms (name-sorted) plus span-ring occupancy. Purely
+/// observational - nothing here feeds the digest, the op log or a decision.
+std::string render_stats(bool obs_enabled, const obs::RegistrySnapshot& registry,
+                         const obs::TraceStats& spans);
 std::string render_shutdown();
 std::string render_error(const std::string& message);
 

@@ -6,6 +6,8 @@
 #include <stdexcept>
 
 #include "harness/methods.hpp"
+#include "obs/metrics_registry.hpp"
+#include "util/json_writer.hpp"
 #include "util/rng.hpp"
 #include "util/string_utils.hpp"
 
@@ -234,12 +236,16 @@ void ServiceEngine::advance_to(double t) {
   op.kind = ServiceOp::Kind::kAdvance;
   op.to = t;
   ops_.push_back(op);
+  emit_runlog_rows(core_->result());
 }
 
 DrainResult ServiceEngine::finish_drain() {
   core_->set_more_arrivals_hint(false);
   while (core_->step()) {
   }
+  // Rows must go out before finish() moves the result and re-sorts
+  // completions into job-id order - the run log streams completion order.
+  emit_runlog_rows(core_->result());
   DrainResult out;
   out.schedule = core_->finish();
   clock_ = std::max(clock_, out.schedule.final_time);
@@ -317,6 +323,53 @@ sim::JobState ServiceEngine::job_state(sim::JobId id) const {
   if (core_->table().contains(id)) return core_->table().state(id);
   if (cancelled_ids_.count(id) != 0) return sim::JobState::kCancelled;
   throw std::invalid_argument(util::format("ServiceEngine: query of unknown job %d", id));
+}
+
+std::vector<std::string> ServiceEngine::runlog_columns() {
+  return {"job_id", "submit_time", "start_time", "end_time",
+          "wait",   "turnaround",  "nodes",      "killed_at_walltime"};
+}
+
+void ServiceEngine::emit_runlog_rows(const sim::ScheduleResult& result) {
+  if (runlog_ == nullptr) return;
+  for (std::size_t i = runlog_emitted_; i < result.completed.size(); ++i) {
+    const sim::CompletedJob& c = result.completed[i];
+    runlog_->append({std::to_string(c.job.id), util::format_double_exact(c.job.submit_time),
+                     util::format_double_exact(c.start_time),
+                     util::format_double_exact(c.end_time),
+                     util::format_double_exact(c.wait_time()),
+                     util::format_double_exact(c.turnaround_time()), std::to_string(c.job.nodes),
+                     c.killed_at_walltime ? "1" : "0"});
+  }
+  runlog_emitted_ = result.completed.size();
+  runlog_->flush();
+}
+
+void ServiceEngine::publish_obs() const {
+  // Exact engine counters at the stats boundary (the hot path flushes only
+  // at sampled steps).
+  core_->flush_obs();
+  obs::MetricRegistry& reg = obs::MetricRegistry::global();
+  const ServiceStatus s = status();
+  reg.gauge("service/clock").set(s.clock);
+  reg.gauge("service/now").set(s.engine_now);
+  reg.gauge("service/steps").set(static_cast<double>(s.steps));
+  reg.gauge("service/admitted").set(static_cast<double>(s.n_admitted));
+  reg.gauge("service/buffered").set(static_cast<double>(s.n_buffered));
+  reg.gauge("service/waiting").set(static_cast<double>(s.n_waiting));
+  reg.gauge("service/running").set(static_cast<double>(s.n_running));
+  reg.gauge("service/completed").set(static_cast<double>(s.n_completed));
+  reg.gauge("service/cancelled").set(static_cast<double>(s.n_cancelled));
+  reg.gauge("service/decisions").set(static_cast<double>(s.n_decisions));
+  reg.gauge("service/stream_emitted").set(static_cast<double>(s.stream_emitted));
+  reg.gauge("service/drained").set(s.drained ? 1.0 : 0.0);
+  if (runlog_ != nullptr) {
+    reg.gauge("service/runlog_rows").set(static_cast<double>(runlog_->rows()));
+    reg.gauge("service/runlog_dropped").set(static_cast<double>(runlog_->dropped()));
+  }
+  for (const auto& [key, value] : scheduler_->obs_counters()) {
+    reg.gauge(key).set(value);
+  }
 }
 
 std::uint64_t ServiceEngine::state_digest() const {

@@ -11,6 +11,7 @@
 
 #include "harness/method_spec.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/runlog.hpp"
 #include "sim/engine_core.hpp"
 #include "workload/arrival_stream.hpp"
 
@@ -150,7 +151,23 @@ class ServiceEngine {
   /// job table, pending events, running allocations, result records; all
   /// doubles hashed by bit pattern). Two sessions with equal digests have
   /// executed bit-identically; snapshots store it and restore verifies it.
+  /// Telemetry state is deliberately excluded: observability must never
+  /// alter what two sessions consider "identical".
   std::uint64_t state_digest() const;
+
+  /// Publish the current session state (clock, queue depths, decision
+  /// counters, the scheduler's own counters) as gauges in the global
+  /// metric registry - the live half of a `stats` response. Works whether
+  /// or not obs::enabled(): an explicit stats request implies the caller
+  /// wants a snapshot. Observe-only; session state is untouched.
+  void publish_obs() const;
+
+  /// Attach a streaming run log: one row per newly completed job, appended
+  /// as advances/drains complete (see obs::RunLog for the degrade-on-failure
+  /// contract). Pass nullptr to detach.
+  void set_runlog(std::shared_ptr<obs::RunLog> runlog) { runlog_ = std::move(runlog); }
+  /// Columns of the per-completion run-log rows.
+  static std::vector<std::string> runlog_columns();
 
  private:
   void ensure_accepting(const char* op) const;
@@ -159,6 +176,9 @@ class ServiceEngine {
   void flush_buffer(double t);
   void cascade_buffer_cancel(std::vector<sim::JobId>& cancelled);
   DrainResult finish_drain();
+  /// Append run-log rows for completions past runlog_emitted_ (observe-only;
+  /// called after advances and before finish() moves the result out).
+  void emit_runlog_rows(const sim::ScheduleResult& result);
 
   ServiceConfig config_;
   sim::EngineConfig engine_config_;  ///< config_.engine with effective cluster
@@ -179,6 +199,11 @@ class ServiceEngine {
   double clock_ = 0.0;
   sim::JobId next_id_ = 1;
   bool drained_ = false;
+
+  /// Streaming run log (optional; telemetry only - absent from the digest
+  /// and the op log by design).
+  std::shared_ptr<obs::RunLog> runlog_;
+  std::size_t runlog_emitted_ = 0;  ///< completions already written
 };
 
 }  // namespace reasched::service

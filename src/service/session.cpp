@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <thread>
 
+#include "obs/metrics_registry.hpp"
+#include "obs/trace.hpp"
 #include "service/snapshot.hpp"
 #include "util/rng.hpp"
 #include "util/string_utils.hpp"
@@ -147,6 +149,13 @@ std::string handle_request(ServiceEngine& engine, const Request& request, bool& 
       case Request::Op::kCheckpoint:
         save_snapshot(engine, request.path);
         return render_checkpoint(request.path, engine.state_digest());
+      case Request::Op::kStats:
+        // Live snapshot: refresh the session gauges, then render whatever
+        // the registry holds. Works with telemetry disabled too (the
+        // request itself is the opt-in); observe-only either way.
+        engine.publish_obs();
+        return render_stats(obs::enabled(), obs::MetricRegistry::global().snapshot(),
+                            obs::TraceRecorder::global().stats());
       case Request::Op::kShutdown:
         shutdown = true;
         return render_shutdown();

@@ -40,4 +40,6 @@ std::string Scheduler::last_thought() const { return {}; }
 
 void Scheduler::reset() {}
 
+std::vector<std::pair<std::string, double>> Scheduler::obs_counters() const { return {}; }
+
 }  // namespace reasched::sim

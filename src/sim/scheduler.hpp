@@ -1,6 +1,7 @@
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/action.hpp"
@@ -103,6 +104,13 @@ class Scheduler {
 
   /// Stable display name ("FCFS", "Claude 3.7", ...).
   virtual std::string name() const = 0;
+
+  /// Observe-only telemetry counters ("opt/evaluations", "llm/calls", ...),
+  /// sampled into decision spans and live stats snapshots. The engine calls
+  /// this off the per-decision hot path (sampled spans, explicit stats
+  /// requests), never to make a decision; implementations must not mutate
+  /// state. Default: no counters.
+  virtual std::vector<std::pair<std::string, double>> obs_counters() const;
 
   /// Reset all internal state so the instance can run a fresh simulation.
   virtual void reset();

@@ -25,6 +25,31 @@ void Logger::log(LogLevel level, const std::string& msg) {
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 
+void Logger::log_limited(LogLevel level, const std::string& key, const std::string& msg,
+                         std::size_t limit) {
+  MutexLock lock(mu_);
+  const std::size_t seen = ++limited_counts_[key];
+  if (seen > limit) return;  // suppressed; still counted above
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (seen == limit) {
+    std::fprintf(stderr, "[%s] %s (further identical warnings suppressed)\n", level_name(level),
+                 msg.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+  }
+}
+
+std::size_t Logger::limited_call_count(const std::string& key) const {
+  MutexLock lock(mu_);
+  const auto it = limited_counts_.find(key);
+  return it == limited_counts_.end() ? 0 : it->second;
+}
+
+void Logger::reset_limits() {
+  MutexLock lock(mu_);
+  limited_counts_.clear();
+}
+
 const char* level_name(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug: return "DEBUG";

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <map>
 #include <sstream>
 #include <string>
 
@@ -21,10 +23,26 @@ class Logger {
 
   void log(LogLevel level, const std::string& msg);
 
+  /// Rate-limited variant for repeating failures (a run-log sink whose disk
+  /// filled, a socket that keeps refusing writes): messages sharing `key`
+  /// are emitted at most `limit` times; the emission that hits the limit is
+  /// tagged so the reader knows suppression started. The cap is count-based,
+  /// not time-based, so logging stays deterministic. Suppressed calls are
+  /// still counted - suppressed_count() reports how many were swallowed.
+  void log_limited(LogLevel level, const std::string& key, const std::string& msg,
+                   std::size_t limit = 1);
+
+  /// Total log_limited calls seen for `key` (emitted + suppressed).
+  std::size_t limited_call_count(const std::string& key) const;
+
+  /// Forget all log_limited bookkeeping (tests).
+  void reset_limits();
+
  private:
   Logger() = default;
   mutable Mutex mu_;
   LogLevel level_ GUARDED_BY(mu_) = LogLevel::kWarn;
+  std::map<std::string, std::size_t> limited_counts_ GUARDED_BY(mu_);
 };
 
 const char* level_name(LogLevel level);

@@ -72,6 +72,7 @@ RULES = {
 PATH_ALLOW = {
     "wallclock": [
         "src/llm/http_client.",  # real-API boundary: HTTP latency is wall time
+        "src/obs/wallclock.",  # the one sanctioned timer TU (span durations)
         "bench/",  # benches measure wall time by design
         "tools/",
         "tests/",

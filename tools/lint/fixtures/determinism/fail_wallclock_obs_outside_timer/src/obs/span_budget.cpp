@@ -1,0 +1,14 @@
+// must-fail: wallclock - being inside src/obs does not sanction clock reads;
+// only the dedicated timer TU (src/obs/wallclock.*) is allowlisted. Any
+// other obs file reaching for the clock must route through obs::monotonic_us.
+#include <chrono>
+
+namespace reasched::obs {
+
+double span_budget_remaining_us(double budget_us, double started_us) {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  const double now_us = std::chrono::duration<double, std::micro>(now).count();
+  return budget_us - (now_us - started_us);
+}
+
+}  // namespace reasched::obs

@@ -1,0 +1,13 @@
+// must-pass: the sanctioned observability timer TU. src/obs/wallclock.* is
+// the one library location allowed to read the wall clock (PATH_ALLOW);
+// span durations come from here and never feed a scheduling decision.
+#include <chrono>
+
+namespace reasched::obs {
+
+double monotonic_us() {
+  const auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return std::chrono::duration<double, std::micro>(now).count();
+}
+
+}  // namespace reasched::obs

@@ -1,0 +1,2 @@
+#pragma once
+// The obs header the fixture's util layer illegally reaches up to.

@@ -1,0 +1,4 @@
+#pragma once
+// A util header illegally reaching up into the observability layer: util is
+// the bottom of the DAG and may include nothing.
+#include "obs/metrics.hpp"

@@ -1,0 +1,4 @@
+#pragma once
+// obs may include util: telemetry cells are built on the annotated
+// synchronization primitives.
+#include "util/strings.hpp"

@@ -1,0 +1,5 @@
+#pragma once
+// sim may include obs (and util): the engine emits spans and counters
+// through the layer below it.
+#include "obs/metrics.hpp"
+#include "util/strings.hpp"

@@ -3,15 +3,17 @@
 
 The repo's layers form a DAG (ARCHITECTURE.md, "Layering contract"):
 
-    util -> sim -> {sched, opt, workload, llm, core, metrics}
+    util -> obs -> sim -> {sched, opt, workload, llm, core, metrics}
          -> harness -> service -> apps
 
-An arrow means "may be included by": sim may include util, harness may
-include any middle-tier module, service may include harness, and apps sit on
-top. The middle tier is flat except core -> llm (the ReAct agent drives the
-LLM client stack); siblings there must not include each other - anything two
-of them share belongs in sim or util, and anything that needs two of them
-belongs in harness.
+An arrow means "may be included by": obs (telemetry) may include util, sim
+may include obs and util, harness may include any middle-tier module,
+service may include harness, and apps sit on top. The middle tier is flat
+except core -> llm (the ReAct agent drives the LLM client stack); siblings
+there must not include each other - anything two of them share belongs in
+sim or util, and anything that needs two of them belongs in harness. obs
+sits below sim so every simulation/decision layer can emit telemetry, while
+obs itself can never observe-and-steer by reaching upward.
 
 Two rules:
 
@@ -56,18 +58,22 @@ RULES = {
 MIDDLE_TIER = ("sched", "opt", "workload", "llm", "core", "metrics")
 LAYER_DEPS = {
     "util": frozenset(),
-    "sim": frozenset({"util"}),
-    "sched": frozenset({"sim", "util"}),
-    "opt": frozenset({"sim", "util"}),
-    "workload": frozenset({"sim", "util"}),
-    "llm": frozenset({"sim", "util"}),
-    "metrics": frozenset({"sim", "util"}),
+    # obs (telemetry) sits between util and sim: everything above can emit
+    # metrics/spans, while obs itself can only see util - the observe-only
+    # invariant is structural, not just policy.
+    "obs": frozenset({"util"}),
+    "sim": frozenset({"obs", "util"}),
+    "sched": frozenset({"obs", "sim", "util"}),
+    "opt": frozenset({"obs", "sim", "util"}),
+    "workload": frozenset({"obs", "sim", "util"}),
+    "llm": frozenset({"obs", "sim", "util"}),
+    "metrics": frozenset({"obs", "sim", "util"}),
     # core (the ReAct agent) composes prompts/actions over the llm client
     # stack; the only sanctioned middle-tier sibling edge.
-    "core": frozenset({"llm", "sim", "util"}),
-    "harness": frozenset({*MIDDLE_TIER, "sim", "util"}),
-    "service": frozenset({"harness", *MIDDLE_TIER, "sim", "util"}),
-    "apps": frozenset({"service", "harness", *MIDDLE_TIER, "sim", "util"}),
+    "core": frozenset({"llm", "obs", "sim", "util"}),
+    "harness": frozenset({*MIDDLE_TIER, "obs", "sim", "util"}),
+    "service": frozenset({"harness", *MIDDLE_TIER, "obs", "sim", "util"}),
+    "apps": frozenset({"service", "harness", *MIDDLE_TIER, "obs", "sim", "util"}),
 }
 
 INCLUDE_RE = re.compile(r'^\s*#\s*include\s*"([^"]+)"')

@@ -4,6 +4,9 @@
 Contract, encoded in fixture names (one subdirectory per linter):
 
   fixtures/determinism/fail_<rule>[_variant].cpp   determinism_lint.py
+  fixtures/determinism/<pass|fail>_.../            determinism_lint.py over a
+                                                   tree (src/<module>/...),
+                                                   exercising path allowlists
   fixtures/view/fail_<rule>[_variant].cpp          view_lint.py
   fixtures/layering/fail_<rule>[_variant]/         layer_lint.py (a tree:
                                                    src/<module>/... files)
@@ -49,17 +52,18 @@ SUITES = [
 ]
 
 CANONICAL_DAG = """\
-apps: core harness llm metrics opt sched service sim util workload
-core: llm sim util
-harness: core llm metrics opt sched sim util workload
-llm: sim util
-metrics: sim util
-opt: sim util
-sched: sim util
-service: core harness llm metrics opt sched sim util workload
-sim: util
+apps: core harness llm metrics obs opt sched service sim util workload
+core: llm obs sim util
+harness: core llm metrics obs opt sched sim util workload
+llm: obs sim util
+metrics: obs sim util
+obs: util
+opt: obs sim util
+sched: obs sim util
+service: core harness llm metrics obs opt sched sim util workload
+sim: obs util
 util: -
-workload: sim util
+workload: obs sim util
 """
 
 
@@ -109,9 +113,15 @@ def fixture_cases():
                 continue
             path = os.path.join(directory, name)
             if shape == "file":
-                if not name.endswith(".cpp"):
+                if os.path.isdir(path):
+                    # Tree-shaped fixture under a file-shaped suite: lint the
+                    # tree's src/ rooted at the fixture, so path allowlists
+                    # (e.g. the sanctioned src/obs wall-clock TU) apply
+                    # exactly as they do against the repo.
+                    cmd = [sys.executable, script, "--root", path, "--src-root", "src"]
+                elif not name.endswith(".cpp"):
                     continue
-                if linter == "determinism_lint.py":
+                elif linter == "determinism_lint.py":
                     cmd = [sys.executable, script, "--root", directory, path]
                 else:
                     cmd = [sys.executable, script, path]

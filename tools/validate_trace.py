@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Structural validator for exported telemetry artifacts (stdlib only).
+
+Checks that a Chrome trace-event JSON written by obs::TraceRecorder
+(--obs-trace-out / --trace-out on the tools) actually loads the way
+Perfetto and chrome://tracing will load it, and optionally that a
+JSON-lines run log (--runlog-out) is one well-formed object per row:
+
+    python3 tools/validate_trace.py service-trace.json \
+        [--runlog service-runlog.jsonl] [--min-events 1] [--min-rows 0]
+
+Trace rules (the subset of the trace-event format the exporter emits):
+* top level is an object with a "traceEvents" array;
+* every event is a complete ("ph": "X") event carrying string name/cat,
+  numeric ts/dur (dur >= 0), integer pid/tid, and an "args" object.
+
+Run-log rules: every line parses as a JSON object and all rows carry the
+identical key set (the open()-time columns).
+
+Exit status 0 on success; 1 with a one-line reason on the first violation.
+CI runs this after the service-mode telemetry smoke so a malformed export
+fails the build rather than a later interactive Perfetto load.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import numbers
+import sys
+
+
+def fail(msg: str) -> None:
+    print(f"validate_trace: FAIL: {msg}")
+    sys.exit(1)
+
+
+def check_trace(path: str, min_events: int) -> int:
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{path}: {exc}")
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail(f"{path}: top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail(f"{path}: traceEvents is not an array")
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where}: not an object")
+        if ev.get("ph") != "X":
+            fail(f"{where}: ph must be 'X' (complete event), got {ev.get('ph')!r}")
+        for key in ("name", "cat"):
+            if not isinstance(ev.get(key), str):
+                fail(f"{where}: {key} must be a string")
+        for key in ("ts", "dur"):
+            if not isinstance(ev.get(key), numbers.Real):
+                fail(f"{where}: {key} must be a number")
+        if ev["dur"] < 0:
+            fail(f"{where}: negative dur")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                fail(f"{where}: {key} must be an integer")
+        if not isinstance(ev.get("args"), dict):
+            fail(f"{where}: args must be an object")
+    if len(events) < min_events:
+        fail(f"{path}: {len(events)} event(s), expected at least {min_events}")
+    return len(events)
+
+
+def check_runlog(path: str, min_rows: int) -> int:
+    columns = None
+    rows = 0
+    try:
+        with open(path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, start=1):
+                if not line.strip():
+                    fail(f"{path}:{lineno}: blank line in JSON-lines run log")
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    fail(f"{path}:{lineno}: {exc}")
+                if not isinstance(row, dict):
+                    fail(f"{path}:{lineno}: row is not an object")
+                if columns is None:
+                    columns = set(row)
+                elif set(row) != columns:
+                    fail(f"{path}:{lineno}: row keys differ from the first row's")
+                rows += 1
+    except OSError as exc:
+        fail(f"{path}: {exc}")
+    if rows < min_rows:
+        fail(f"{path}: {rows} row(s), expected at least {min_rows}")
+    return rows
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--runlog", help="JSON-lines run log to validate too")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum traceEvents entries (default 1)")
+    parser.add_argument("--min-rows", type=int, default=0,
+                        help="minimum run-log rows (default 0)")
+    args = parser.parse_args()
+
+    n_events = check_trace(args.trace, args.min_events)
+    summary = f"{args.trace}: {n_events} trace event(s) OK"
+    if args.runlog:
+        n_rows = check_runlog(args.runlog, args.min_rows)
+        summary += f"; {args.runlog}: {n_rows} run-log row(s) OK"
+    print(f"validate_trace: {summary}")
+
+
+if __name__ == "__main__":
+    main()
